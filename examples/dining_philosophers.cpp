@@ -1,0 +1,62 @@
+// Dining philosophers: run-time deadlock detection in action.
+//
+// Each fork is a one-unit resource-allocator monitor with its own periodic
+// checker.  The symmetric grab order deadlocks; the detection model reports
+// it through ST-8c (fork held past Tlimit), ST-5 (condition wait past Tmax)
+// and ST-6 — no global deadlock detector involved, each monitor reaches the
+// verdict from its own history, exactly as the paper's per-monitor model
+// prescribes.
+//
+//   ./dining_philosophers                 # symmetric: deadlocks, detected
+//   ./dining_philosophers --symmetric=false  # asymmetric control: clean
+#include <cstdio>
+
+#include "util/flags.hpp"
+#include "workloads/dining.hpp"
+
+using namespace robmon;
+
+int main(int argc, char** argv) {
+  util::Flags flags;
+  flags.define("philosophers", "5", "number of philosophers/forks");
+  flags.define("rounds", "200", "eat/think rounds per philosopher");
+  flags.define("symmetric", "true",
+               "true = everyone grabs left first (deadlock-prone)");
+  flags.define("timeout-ms", "2000", "wall-clock budget before giving up");
+  if (!flags.parse(argc, argv)) return 2;
+
+  wl::DiningOptions options;
+  options.philosophers = static_cast<int>(flags.i64("philosophers"));
+  options.rounds = static_cast<int>(flags.i64("rounds"));
+  options.symmetric_order = flags.boolean("symmetric");
+  options.grab_gap_ns = options.symmetric_order ? 2 * util::kMillisecond : 0;
+  options.t_limit = 80 * util::kMillisecond;
+  options.t_max = 80 * util::kMillisecond;
+  options.t_io = 160 * util::kMillisecond;
+  options.check_period = 40 * util::kMillisecond;
+  options.run_timeout = flags.i64("timeout-ms") * util::kMillisecond;
+
+  std::printf("%d philosophers, %s grab order...\n", options.philosophers,
+              options.symmetric_order ? "symmetric" : "asymmetric");
+  const wl::DiningResult result = wl::run_dining(options);
+
+  std::printf("completed:         %s\n", result.completed ? "yes" : "no");
+  std::printf("deadlock reported: %s\n",
+              result.deadlock_reported ? "yes" : "no");
+  std::printf("fault reports:     %zu", result.fault_reports);
+  std::size_t shown = 0;
+  std::printf("\n");
+  for (const auto& report : result.reports) {
+    if (++shown > 8) {
+      std::printf("  ... (%zu more)\n", result.fault_reports - 8);
+      break;
+    }
+    std::printf("  [%s] pid=p%d: %s\n",
+                std::string(core::to_string(report.rule)).c_str(), report.pid,
+                report.message.c_str());
+  }
+  const bool expected = options.symmetric_order
+                            ? result.deadlock_reported
+                            : result.completed && result.fault_reports == 0;
+  return expected ? 0 : 1;
+}

@@ -1,0 +1,97 @@
+// Resource-access-right allocator with the real-time calling-order phase.
+//
+// Clients acquire and release units of a shared pool; the monitor declares
+// the partial order (Acquire ; Release)* as a path expression, checked in
+// real time at every Enter, and Algorithm-3 re-validates the Request-List
+// at every checking point.  Use --fault to watch each Level-III (user
+// process) fault class being caught.
+//
+//   ./resource_allocator --clients=4 --fault=release-first
+//   ./resource_allocator --fault=never-release
+//   ./resource_allocator --fault=double-acquire
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "inject/injection.hpp"
+#include "util/flags.hpp"
+#include "workloads/allocator.hpp"
+
+using namespace robmon;
+
+int main(int argc, char** argv) {
+  util::Flags flags;
+  flags.define("clients", "4", "client threads");
+  flags.define("units", "2", "units in the shared pool");
+  flags.define("iterations", "20", "acquire/release cycles per client");
+  flags.define("fault", "none",
+               "none | release-first | never-release | double-acquire");
+  flags.define("tlimit-ms", "150", "Tlimit: max resource-holding time");
+  if (!flags.parse(argc, argv)) return 2;
+
+  core::MonitorSpec spec = core::MonitorSpec::allocator("pool");
+  spec.t_limit = flags.i64("tlimit-ms") * util::kMillisecond;
+  spec.check_period = 50 * util::kMillisecond;
+  std::printf("declared call order: path %s end\n",
+              spec.effective_path_expression().c_str());
+
+  const std::string fault = flags.str("fault");
+  std::unique_ptr<inject::ScriptedInjection> scripted;
+  if (fault == "release-first") {
+    scripted = std::make_unique<inject::ScriptedInjection>(
+        inject::ScriptedInjection::Plan{
+            core::FaultKind::kReleaseBeforeAcquire, trace::kNoPid, 1, false});
+  } else if (fault == "never-release") {
+    scripted = std::make_unique<inject::ScriptedInjection>(
+        inject::ScriptedInjection::Plan{
+            core::FaultKind::kResourceNeverReleased, trace::kNoPid, 1,
+            false});
+  } else if (fault == "double-acquire") {
+    scripted = std::make_unique<inject::ScriptedInjection>(
+        inject::ScriptedInjection::Plan{
+            core::FaultKind::kDoubleAcquireDeadlock, trace::kNoPid, 1,
+            false});
+  } else if (fault != "none") {
+    std::fprintf(stderr, "unknown --fault value: %s\n", fault.c_str());
+    return 2;
+  }
+  inject::InjectionController& injection =
+      scripted ? static_cast<inject::InjectionController&>(*scripted)
+               : inject::NullInjection::instance();
+
+  core::CollectingSink sink;
+  rt::RobustMonitor monitor(spec, sink);
+  // Enough units that an injected double-acquire does not hang the demo.
+  wl::ResourceAllocator allocator(
+      monitor, std::max<std::int64_t>(flags.i64("units"), 2));
+  monitor.start_checking();
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < flags.i64("clients"); ++c) {
+    clients.emplace_back([&, c] {
+      wl::ClientOptions options;
+      options.iterations = static_cast<int>(flags.i64("iterations"));
+      options.hold_ns = 500'000;   // 0.5 ms holding the unit
+      options.think_ns = 200'000;  // 0.2 ms between cycles
+      wl::run_allocator_client(allocator, c, injection, options);
+    });
+  }
+  for (auto& client : clients) client.join();
+
+  // Let Tlimit elapse so a leaked unit is flagged, then do a final check.
+  std::this_thread::sleep_for(
+      std::chrono::nanoseconds(spec.t_limit + spec.check_period));
+  monitor.stop_checking();
+  monitor.check_now();
+
+  std::printf("injected fault:  %s%s\n", fault.c_str(),
+              scripted && scripted->fired() ? " (struck)" : "");
+  std::printf("units available: %lld\n",
+              static_cast<long long>(allocator.available()));
+  std::printf("fault reports:   %zu\n", sink.count());
+  for (const auto& report : sink.reports()) {
+    std::printf("  %s\n", core::describe(report, monitor.symbols()).c_str());
+  }
+  const bool expected = fault == "none" ? sink.count() == 0 : sink.count() > 0;
+  return expected ? 0 : 1;
+}

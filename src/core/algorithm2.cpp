@@ -1,0 +1,150 @@
+// Algorithm-2: Consistency-Of-Resource-States Checking (Section 3.3.2),
+// for communication-coordinator monitors.
+//
+// Replays the segment maintaining Resource-No (free buffer slots) and the
+// cumulative successful-call counters r (Receive) and s (Send), evaluating
+// ST-Rule 7:
+//   7a  0 <= r <= s <= r + Rmax          (violations split into the
+//       receive-exceeds-send and send-exceeds-capacity directions)
+//   7b  s_t.R# == s_p.R# + r_seg - s_seg (balance at the checking point)
+//   7c  Wait(Pid, Send, full)   requires Resource-No == 0
+//   7d  Wait(Pid, Receive, empty) requires Resource-No == Rmax
+#include <sstream>
+
+#include "core/algorithms.hpp"
+
+namespace robmon::core {
+
+namespace {
+
+void report_event(const CheckContext& ctx, RuleId rule, FaultKind suspected,
+                  const trace::EventRecord& ev, const std::string& message) {
+  FaultReport fault;
+  fault.rule = rule;
+  fault.suspected = suspected;
+  fault.pid = ev.pid;
+  fault.proc = ev.proc;
+  fault.cond = ev.cond;
+  fault.event_seq = ev.seq;
+  fault.detected_at = ctx.now;
+  fault.message = message;
+  ctx.sink->report(fault);
+}
+
+}  // namespace
+
+std::size_t run_algorithm2(const CheckContext& ctx,
+                           const trace::SchedulingState& prev,
+                           const trace::SchedulingState& current,
+                           const std::vector<trace::EventRecord>& events,
+                           ResourceCounters& cumulative) {
+  std::size_t violations = 0;
+  const std::int64_t rmax = ctx.spec->rmax;
+
+  std::int64_t resource_no = prev.resources;
+  std::int64_t segment_sends = 0;
+  std::int64_t segment_receives = 0;
+
+  for (const auto& ev : events) {
+    switch (ev.kind) {
+      case trace::EventKind::kWait: {
+        // ST-7c: a Send may be delayed only when the buffer is full.
+        if (ev.proc == ctx.send_proc && ev.cond == ctx.full_cond &&
+            resource_no != 0) {
+          ++violations;
+          std::ostringstream msg;
+          msg << "Send delayed with " << resource_no
+              << " free slots (must be 0)";
+          report_event(ctx, RuleId::kSt7cSendDelayedWhenNotFull,
+                       FaultKind::kSendDelayWrong, ev, msg.str());
+        }
+        // ST-7d: a Receive may be delayed only when the buffer is empty.
+        if (ev.proc == ctx.receive_proc && ev.cond == ctx.empty_cond &&
+            resource_no != rmax) {
+          ++violations;
+          std::ostringstream msg;
+          msg << "Receive delayed with " << resource_no
+              << " free slots (must be Rmax=" << rmax << ")";
+          report_event(ctx, RuleId::kSt7dReceiveDelayedWhenNotEmpty,
+                       FaultKind::kReceiveDelayWrong, ev, msg.str());
+        }
+        break;
+      }
+      case trace::EventKind::kSignalExit: {
+        // A Signal-Exit by Send/Receive marks a *successful* call.
+        if (ev.proc == ctx.send_proc) {
+          ++segment_sends;
+          --resource_no;
+          if (resource_no < 0) {
+            ++violations;
+            report_event(
+                ctx, RuleId::kSt7aSendExceedsCapacity,
+                FaultKind::kSendExceedsCapacity, ev,
+                "successful Sends exceed Rmax plus successful Receives");
+          }
+        } else if (ev.proc == ctx.receive_proc) {
+          ++segment_receives;
+          ++resource_no;
+          if (resource_no > rmax) {
+            ++violations;
+            report_event(ctx, RuleId::kSt7aReceiveExceedsSend,
+                         FaultKind::kReceiveExceedsSend, ev,
+                         "successful Receives exceed successful Sends");
+          }
+        }
+        break;
+      }
+      case trace::EventKind::kEnter:
+        break;
+    }
+  }
+
+  cumulative.sends += segment_sends;
+  cumulative.receives += segment_receives;
+
+  // Cumulative form of ST-7a (0 <= r <= s is implied by resource_no bounds
+  // when starting from an empty buffer; re-checked here explicitly).
+  if (cumulative.receives > cumulative.sends) {
+    ++violations;
+    FaultReport fault;
+    fault.rule = RuleId::kSt7aReceiveExceedsSend;
+    fault.suspected = FaultKind::kReceiveExceedsSend;
+    fault.detected_at = ctx.now;
+    std::ostringstream msg;
+    msg << "cumulative receives r=" << cumulative.receives << " exceed sends s="
+        << cumulative.sends;
+    fault.message = msg.str();
+    ctx.sink->report(fault);
+  }
+  if (cumulative.sends > cumulative.receives + rmax) {
+    ++violations;
+    FaultReport fault;
+    fault.rule = RuleId::kSt7aSendExceedsCapacity;
+    fault.suspected = FaultKind::kSendExceedsCapacity;
+    fault.detected_at = ctx.now;
+    std::ostringstream msg;
+    msg << "cumulative sends s=" << cumulative.sends << " exceed r+Rmax="
+        << cumulative.receives + rmax;
+    fault.message = msg.str();
+    ctx.sink->report(fault);
+  }
+
+  // ST-7b: replayed Resource-No must equal the R# observed at s_t.
+  if (current.resources != resource_no) {
+    ++violations;
+    FaultReport fault;
+    fault.rule = RuleId::kSt7bResourceBalanceMismatch;
+    fault.detected_at = ctx.now;
+    std::ostringstream msg;
+    msg << "R# at checking point is " << current.resources
+        << " but replay yields " << resource_no << " (s_p.R#=" << prev.resources
+        << ", segment sends=" << segment_sends
+        << ", receives=" << segment_receives << ")";
+    fault.message = msg.str();
+    ctx.sink->report(fault);
+  }
+
+  return violations;
+}
+
+}  // namespace robmon::core

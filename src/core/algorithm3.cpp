@@ -1,0 +1,100 @@
+// Algorithm-3: Calling-Orders Checking (Section 3.3.2), for
+// resource-access-right-allocator monitors.
+//
+// Maintains the persistent Request-List and evaluates ST-Rule 8:
+//   8a  no pid may appear twice on the Request-List (re-acquiring a held
+//       resource: self-deadlock, fault III.c)
+//   8b  a Release requires the pid to be on the Request-List (fault III.a)
+//   8c  no pid may stay on the Request-List longer than Tlimit
+//       (resource never released, fault III.b)
+#include <sstream>
+
+#include "core/algorithms.hpp"
+
+namespace robmon::core {
+
+bool RequestList::contains(trace::Pid pid) const {
+  for (const auto& entry : entries) {
+    if (entry.pid == pid) return true;
+  }
+  return false;
+}
+
+bool RequestList::remove_first(trace::Pid pid) {
+  for (auto it = entries.begin(); it != entries.end(); ++it) {
+    if (it->pid == pid) {
+      entries.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t run_algorithm3(const CheckContext& ctx,
+                           const std::vector<trace::EventRecord>& events,
+                           RequestList& requests) {
+  std::size_t violations = 0;
+
+  auto report_event = [&](RuleId rule, FaultKind suspected,
+                          const trace::EventRecord& ev,
+                          const std::string& message) {
+    FaultReport fault;
+    fault.rule = rule;
+    fault.suspected = suspected;
+    fault.pid = ev.pid;
+    fault.proc = ev.proc;
+    fault.event_seq = ev.seq;
+    fault.detected_at = ctx.now;
+    fault.message = message;
+    ctx.sink->report(fault);
+  };
+
+  for (const auto& ev : events) {
+    if (ev.kind == trace::EventKind::kEnter) {
+      if (ev.proc == ctx.acquire_proc) {
+        // ST-8a: duplicate acquisition is a self-deadlock.
+        if (requests.contains(ev.pid)) {
+          ++violations;
+          report_event(RuleId::kSt8aDuplicateAcquire,
+                       FaultKind::kDoubleAcquireDeadlock, ev,
+                       "process re-acquires a resource it already holds");
+        }
+        requests.entries.push_back({ev.pid, ev.proc, ev.time});
+      } else if (ev.proc == ctx.release_proc) {
+        // ST-8b: releasing requires a prior acquisition.
+        if (!requests.contains(ev.pid)) {
+          ++violations;
+          report_event(RuleId::kSt8bReleaseWithoutAcquire,
+                       FaultKind::kReleaseBeforeAcquire, ev,
+                       "Release invoked without a matching Acquire");
+        }
+      }
+    } else if (ev.kind == trace::EventKind::kSignalExit &&
+               ev.proc == ctx.release_proc) {
+      // Successful Release completion removes the first matching entry.
+      requests.remove_first(ev.pid);
+    }
+  }
+
+  // ST-8c: nothing may be held past Tlimit.
+  for (const auto& entry : requests.entries) {
+    if (ctx.now - entry.since >= ctx.spec->t_limit) {
+      ++violations;
+      FaultReport fault;
+      fault.rule = RuleId::kSt8cHoldExceedsTlimit;
+      fault.suspected = FaultKind::kResourceNeverReleased;
+      fault.pid = entry.pid;
+      fault.proc = entry.proc;
+      fault.detected_at = ctx.now;
+      std::ostringstream msg;
+      msg << "resource held for " << (ctx.now - entry.since) / 1000000
+          << "ms, Tlimit=" << ctx.spec->t_limit / 1000000 << "ms";
+      fault.message = msg.str();
+      ctx.sink->report(fault);
+    }
+  }
+
+  return violations;
+}
+
+}  // namespace robmon::core

@@ -1,0 +1,34 @@
+#include "core/assertions.hpp"
+
+namespace robmon::core {
+
+MonitorAssertion resources_within(std::int64_t lo, std::int64_t hi) {
+  return {"resources within [" + std::to_string(lo) + ", " +
+              std::to_string(hi) + "]",
+          [lo, hi](const trace::SchedulingState& state) {
+            return state.resources >= lo && state.resources <= hi;
+          }};
+}
+
+MonitorAssertion entry_queue_at_most(std::size_t limit) {
+  return {"entry queue length <= " + std::to_string(limit),
+          [limit](const trace::SchedulingState& state) {
+            return state.entry_queue.size() <= limit;
+          }};
+}
+
+MonitorAssertion blocked_at_most(std::size_t limit) {
+  return {"blocked processes <= " + std::to_string(limit),
+          [limit](const trace::SchedulingState& state) {
+            return state.blocked_count() <= limit;
+          }};
+}
+
+MonitorAssertion monitor_idle() {
+  return {"monitor idle",
+          [](const trace::SchedulingState& state) {
+            return !state.has_running() && state.blocked_count() == 0;
+          }};
+}
+
+}  // namespace robmon::core

@@ -1,0 +1,62 @@
+#include "core/checking_lists.hpp"
+
+#include <algorithm>
+
+namespace robmon::core {
+
+CheckingLists CheckingLists::from_state(const trace::SchedulingState& prev) {
+  CheckingLists lists;
+  for (const auto& entry : prev.entry_queue) {
+    lists.enter_zero.push_back({entry.pid, entry.proc, entry.enqueued_at});
+  }
+  for (const auto& queue : prev.cond_queues) {
+    auto& rebuilt = lists.wait_cond[queue.cond];
+    for (const auto& entry : queue.entries) {
+      rebuilt.push_back({entry.pid, entry.proc, entry.enqueued_at});
+    }
+  }
+  if (prev.has_running()) {
+    lists.running.push_back(
+        {prev.running, prev.running_proc, prev.running_since});
+  }
+  lists.resource_no = prev.resources;
+  return lists;
+}
+
+bool CheckingLists::pid_blocked(trace::Pid pid) const {
+  for (const auto& entry : enter_zero) {
+    if (entry.pid == pid) return true;
+  }
+  for (const auto& [cond, queue] : wait_cond) {
+    for (const auto& entry : queue) {
+      if (entry.pid == pid) return true;
+    }
+  }
+  return false;
+}
+
+bool CheckingLists::pid_running(trace::Pid pid) const {
+  return std::any_of(running.begin(), running.end(),
+                     [pid](const ListEntry& e) { return e.pid == pid; });
+}
+
+bool CheckingLists::remove_running(trace::Pid pid) {
+  const auto it =
+      std::find_if(running.begin(), running.end(),
+                   [pid](const ListEntry& e) { return e.pid == pid; });
+  if (it == running.end()) return false;
+  running.erase(it);
+  return true;
+}
+
+bool lists_match(const std::deque<ListEntry>& rebuilt,
+                 const std::vector<trace::QueueEntry>& actual) {
+  if (rebuilt.size() != actual.size()) return false;
+  for (std::size_t i = 0; i < rebuilt.size(); ++i) {
+    if (rebuilt[i].pid != actual[i].pid) return false;
+    if (rebuilt[i].proc != actual[i].proc) return false;
+  }
+  return true;
+}
+
+}  // namespace robmon::core

@@ -1,0 +1,64 @@
+// The checking lists of Section 3.3.1: Enter-0-List, Wait-Cond-Lists,
+// Running-List, Resource-No and Request-List.  These are pseudo-historical
+// structures rebuilt at each checking point from the previous scheduling
+// state s_p and the event segment L, then compared against the current
+// scheduling state s_t by Algorithms 1-3.
+//
+// Note an erratum in the paper's prose: Section 3.3.1 says *every*
+// Signal-Exit pops the head of Enter-0-List, but the formal FD-Rules 1.b/1.c
+// (Section 3.2) show that a Signal-Exit with flag=1 hands the monitor to the
+// condition waiter and serves CQ[cond], not EQ.  We follow the formal rules:
+//   Wait, Signal-Exit(flag=0)  -> pop Enter-0-List head (if any)
+//   Signal-Exit(flag=1)        -> pop Wait-Cond-List[cond] head
+// Otherwise a correct hand-off would put two processes on Running-List and
+// every correct trace would violate ST-3a.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "trace/event.hpp"
+#include "trace/snapshot.hpp"
+#include "util/clock.hpp"
+
+namespace robmon::core {
+
+/// One element of a checking list: Pid(Pr) plus the timestamp used by the
+/// Timer(Pid) rules.
+struct ListEntry {
+  trace::Pid pid = trace::kNoPid;
+  trace::SymbolId proc = trace::kNoSymbol;
+  util::TimeNs since = 0;
+
+  bool operator==(const ListEntry&) const = default;
+};
+
+/// Plain data: the lists themselves.  Rule evaluation lives in the
+/// algorithms (algorithms.hpp); this type only offers mechanical queries.
+struct CheckingLists {
+  std::deque<ListEntry> enter_zero;                          ///< Enter-0-List.
+  std::map<trace::SymbolId, std::deque<ListEntry>> wait_cond;  ///< Wait-Cond-Lists.
+  std::vector<ListEntry> running;                            ///< Running-List.
+  std::int64_t resource_no = -1;                             ///< Resource-No.
+
+  /// Initialize from the scheduling state at the previous checking time s_p.
+  static CheckingLists from_state(const trace::SchedulingState& prev);
+
+  /// True if pid sits on Enter-0-List or any Wait-Cond-List (ST-Rule 4).
+  bool pid_blocked(trace::Pid pid) const;
+
+  /// True if pid is on the Running-List.
+  bool pid_running(trace::Pid pid) const;
+
+  /// Remove the first Running-List element with this pid; returns success.
+  bool remove_running(trace::Pid pid);
+};
+
+/// Compare a rebuilt list against a snapshot queue: same pids, same procs,
+/// same order.  Timestamps are not compared (rebuilt entries carry event
+/// times, snapshot entries carry enqueue times).
+bool lists_match(const std::deque<ListEntry>& rebuilt,
+                 const std::vector<trace::QueueEntry>& actual);
+
+}  // namespace robmon::core

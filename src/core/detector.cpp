@@ -1,0 +1,56 @@
+#include "core/detector.hpp"
+
+#include <cassert>
+
+namespace robmon::core {
+
+Detector::Detector(MonitorSpec spec, trace::SymbolTable& symbols,
+                   ReportSink& sink)
+    : spec_(std::move(spec)), symbols_(&symbols), sink_(&sink) {}
+
+void Detector::add_assertion(MonitorAssertion assertion) {
+  assertions_.push_back(std::move(assertion));
+}
+
+void Detector::initialize(const trace::SchedulingState& initial) {
+  prev_ = initial;
+  initialized_ = true;
+}
+
+Detector::CheckStats Detector::check(
+    const std::vector<trace::EventRecord>& segment,
+    const trace::SchedulingState& current, util::TimeNs now) {
+  assert(initialized_ && "Detector::initialize must be called first");
+
+  const CheckContext ctx = CheckContext::make(spec_, *symbols_, now, *sink_);
+
+  CheckStats stats;
+  stats.events = segment.size();
+
+  stats.violations += run_algorithm1(ctx, prev_, current, segment);
+  if (spec_.type == MonitorType::kCommunicationCoordinator) {
+    stats.violations += run_algorithm2(ctx, prev_, current, segment, counters_);
+  }
+  if (spec_.type == MonitorType::kResourceAllocator) {
+    stats.violations += run_algorithm3(ctx, segment, requests_);
+  }
+
+  for (const MonitorAssertion& assertion : assertions_) {
+    if (!assertion.predicate(current)) {
+      ++stats.violations;
+      FaultReport report;
+      report.rule = RuleId::kUserAssertion;
+      report.detected_at = now;
+      report.message = "assertion '" + assertion.name + "' failed";
+      sink_->report(report);
+    }
+  }
+
+  prev_ = current;
+  ++checks_run_;
+  events_processed_ += stats.events;
+  total_violations_ += stats.violations;
+  return stats;
+}
+
+}  // namespace robmon::core

@@ -1,0 +1,74 @@
+// Detector: orchestrates the periodic checking phase (Section 3.3).
+//
+// At each checking point the caller supplies the event segment recorded
+// since the previous point and the current scheduling state; the detector
+// runs Algorithm-1 (all monitor types), Algorithm-2 (communication
+// coordinators) and Algorithm-3 (resource allocators), persists the state
+// needed for the next point (s_p, cumulative r/s counters, Request-List)
+// and forwards violations to the ReportSink.
+//
+// Backends call this from their checker thread / checker task; the offline
+// replayer calls it once per recorded checkpoint.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/algorithms.hpp"
+#include "core/assertions.hpp"
+#include "core/fault.hpp"
+#include "core/monitor_spec.hpp"
+#include "trace/event.hpp"
+#include "trace/snapshot.hpp"
+
+namespace robmon::core {
+
+class Detector {
+ public:
+  /// `symbols` and `sink` must outlive the detector.
+  Detector(MonitorSpec spec, trace::SymbolTable& symbols, ReportSink& sink);
+
+  /// Establish the scheduling state at detector start (s_p for the first
+  /// check).  Typically the empty state captured before any process runs.
+  void initialize(const trace::SchedulingState& initial);
+
+  struct CheckStats {
+    std::size_t events = 0;      ///< Segment length |L|.
+    std::size_t violations = 0;  ///< Violations reported this check.
+  };
+
+  /// One checking-routine invocation at time `now`.
+  CheckStats check(const std::vector<trace::EventRecord>& segment,
+                   const trace::SchedulingState& current, util::TimeNs now);
+
+  /// Register a predefined or user-supplied assertion (Section 5
+  /// extension); evaluated against the current scheduling state at every
+  /// checking point, after Algorithms 1-3.
+  void add_assertion(MonitorAssertion assertion);
+  std::size_t assertion_count() const { return assertions_.size(); }
+
+  const MonitorSpec& spec() const { return spec_; }
+  const trace::SchedulingState& previous_state() const { return prev_; }
+  const RequestList& request_list() const { return requests_; }
+  const ResourceCounters& counters() const { return counters_; }
+
+  /// Totals over the detector's lifetime.
+  std::uint64_t checks_run() const { return checks_run_; }
+  std::uint64_t events_processed() const { return events_processed_; }
+  std::uint64_t total_violations() const { return total_violations_; }
+
+ private:
+  MonitorSpec spec_;
+  trace::SymbolTable* symbols_;
+  ReportSink* sink_;
+  trace::SchedulingState prev_;
+  bool initialized_ = false;
+  ResourceCounters counters_;
+  RequestList requests_;
+  std::vector<MonitorAssertion> assertions_;
+  std::uint64_t checks_run_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::uint64_t total_violations_ = 0;
+};
+
+}  // namespace robmon::core

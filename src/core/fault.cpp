@@ -1,0 +1,354 @@
+#include "core/fault.hpp"
+
+#include <sstream>
+
+namespace robmon::core {
+
+std::string_view to_string(FaultLevel level) {
+  switch (level) {
+    case FaultLevel::kImplementation:
+      return "implementation";
+    case FaultLevel::kMonitorProcedure:
+      return "monitor-procedure";
+    case FaultLevel::kUserProcess:
+      return "user-process";
+  }
+  return "?";
+}
+
+FaultLevel level_of(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kSendDelayWrong:
+    case FaultKind::kReceiveDelayWrong:
+    case FaultKind::kReceiveExceedsSend:
+    case FaultKind::kSendExceedsCapacity:
+      return FaultLevel::kMonitorProcedure;
+    case FaultKind::kReleaseBeforeAcquire:
+    case FaultKind::kResourceNeverReleased:
+    case FaultKind::kDoubleAcquireDeadlock:
+      return FaultLevel::kUserProcess;
+    default:
+      return FaultLevel::kImplementation;
+  }
+}
+
+std::string_view to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kEnterMutualExclusionViolation:
+      return "enter-mutual-exclusion-violation";
+    case FaultKind::kEnterRequestLost:
+      return "enter-request-lost";
+    case FaultKind::kEnterNoResponse:
+      return "enter-no-response";
+    case FaultKind::kEnterNotObserved:
+      return "enter-not-observed";
+    case FaultKind::kWaitNoBlock:
+      return "wait-no-block";
+    case FaultKind::kWaitProcessLost:
+      return "wait-process-lost";
+    case FaultKind::kWaitEntryNotResumed:
+      return "wait-entry-not-resumed";
+    case FaultKind::kWaitEntryStarved:
+      return "wait-entry-starved";
+    case FaultKind::kWaitMutualExclusionViolation:
+      return "wait-mutual-exclusion-violation";
+    case FaultKind::kWaitMonitorNotReleased:
+      return "wait-monitor-not-released";
+    case FaultKind::kSignalExitNoResume:
+      return "signal-exit-no-resume";
+    case FaultKind::kSignalExitMonitorNotReleased:
+      return "signal-exit-monitor-not-released";
+    case FaultKind::kSignalExitMutualExclusionViolation:
+      return "signal-exit-mutual-exclusion-violation";
+    case FaultKind::kTerminationInsideMonitor:
+      return "termination-inside-monitor";
+    case FaultKind::kSendDelayWrong:
+      return "send-delay-wrong";
+    case FaultKind::kReceiveDelayWrong:
+      return "receive-delay-wrong";
+    case FaultKind::kReceiveExceedsSend:
+      return "receive-exceeds-send";
+    case FaultKind::kSendExceedsCapacity:
+      return "send-exceeds-capacity";
+    case FaultKind::kReleaseBeforeAcquire:
+      return "release-before-acquire";
+    case FaultKind::kResourceNeverReleased:
+      return "resource-never-released";
+    case FaultKind::kDoubleAcquireDeadlock:
+      return "double-acquire-deadlock";
+  }
+  return "?";
+}
+
+std::string_view paper_designation(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kEnterMutualExclusionViolation:
+      return "I.a.1";
+    case FaultKind::kEnterRequestLost:
+      return "I.a.2";
+    case FaultKind::kEnterNoResponse:
+      return "I.a.3";
+    case FaultKind::kEnterNotObserved:
+      return "I.a.4";
+    case FaultKind::kWaitNoBlock:
+      return "I.b.1";
+    case FaultKind::kWaitProcessLost:
+      return "I.b.2";
+    case FaultKind::kWaitEntryNotResumed:
+      return "I.b.3";
+    case FaultKind::kWaitEntryStarved:
+      return "I.b.4";
+    case FaultKind::kWaitMutualExclusionViolation:
+      return "I.b.5";
+    case FaultKind::kWaitMonitorNotReleased:
+      return "I.b.6";
+    case FaultKind::kSignalExitNoResume:
+      return "I.c.1";
+    case FaultKind::kSignalExitMonitorNotReleased:
+      return "I.c.2";
+    case FaultKind::kSignalExitMutualExclusionViolation:
+      return "I.c.3";
+    case FaultKind::kTerminationInsideMonitor:
+      return "I.c.4";
+    case FaultKind::kSendDelayWrong:
+      return "II.a";
+    case FaultKind::kReceiveDelayWrong:
+      return "II.b";
+    case FaultKind::kReceiveExceedsSend:
+      return "II.c";
+    case FaultKind::kSendExceedsCapacity:
+      return "II.d";
+    case FaultKind::kReleaseBeforeAcquire:
+      return "III.a";
+    case FaultKind::kResourceNeverReleased:
+      return "III.b";
+    case FaultKind::kDoubleAcquireDeadlock:
+      return "III.c";
+  }
+  return "?";
+}
+
+std::string_view description(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kEnterMutualExclusionViolation:
+      return "mutual exclusion not guaranteed: two or more processes entered "
+             "the monitor at the same time";
+    case FaultKind::kEnterRequestLost:
+      return "the requesting process is lost: neither queued for entry nor "
+             "allowed to enter";
+    case FaultKind::kEnterNoResponse:
+      return "no response to the requesting process: queued indefinitely or "
+             "blocked while the monitor is free";
+    case FaultKind::kEnterNotObserved:
+      return "entry not observed: a process runs inside the monitor without "
+             "having invoked Enter";
+    case FaultKind::kWaitNoBlock:
+      return "synchronization not guaranteed: the waiting process is not "
+             "blocked and continues inside the monitor";
+    case FaultKind::kWaitProcessLost:
+      return "the calling process is lost: neither queued on the condition "
+             "nor running inside the monitor";
+    case FaultKind::kWaitEntryNotResumed:
+      return "entry waiting processes not resumed when the caller blocked on "
+             "a condition";
+    case FaultKind::kWaitEntryStarved:
+      return "an entry waiting process is starved: never resumed";
+    case FaultKind::kWaitMutualExclusionViolation:
+      return "mutual exclusion not guaranteed: more than one entry waiter "
+             "resumed when the caller blocked on a condition";
+    case FaultKind::kWaitMonitorNotReleased:
+      return "monitor not released: caller blocked on a condition without "
+             "releasing the monitor";
+    case FaultKind::kSignalExitNoResume:
+      return "waiting processes not resumed when the signalling process "
+             "exited the monitor";
+    case FaultKind::kSignalExitMonitorNotReleased:
+      return "monitor not released on exit";
+    case FaultKind::kSignalExitMutualExclusionViolation:
+      return "mutual exclusion not guaranteed: more than one process resumed "
+             "on exit";
+    case FaultKind::kTerminationInsideMonitor:
+      return "internal process termination: a process terminated inside the "
+             "monitor and never exits";
+    case FaultKind::kSendDelayWrong:
+      return "Send delayed when the buffer is not full, or not delayed when "
+             "full";
+    case FaultKind::kReceiveDelayWrong:
+      return "Receive delayed when the buffer is not empty, or not delayed "
+             "when empty";
+    case FaultKind::kReceiveExceedsSend:
+      return "successful Receive calls exceed successful Send calls";
+    case FaultKind::kSendExceedsCapacity:
+      return "successful Send calls exceed buffer capacity plus successful "
+             "Receive calls";
+    case FaultKind::kReleaseBeforeAcquire:
+      return "incorrect ordering: a process releases a resource without "
+             "first acquiring it";
+    case FaultKind::kResourceNeverReleased:
+      return "resource not released after acquisition";
+    case FaultKind::kDoubleAcquireDeadlock:
+      return "process deadlocked: re-acquires a held resource without "
+             "releasing it";
+  }
+  return "?";
+}
+
+const std::vector<FaultKind>& all_fault_kinds() {
+  static const std::vector<FaultKind> kinds = [] {
+    std::vector<FaultKind> all;
+    for (std::size_t i = 0; i < kFaultKindCount; ++i) {
+      all.push_back(static_cast<FaultKind>(i));
+    }
+    return all;
+  }();
+  return kinds;
+}
+
+std::string_view to_string(RuleId rule) {
+  switch (rule) {
+    case RuleId::kSt1EntryQueueMismatch:
+      return "ST-1 entry-queue mismatch";
+    case RuleId::kSt2CondQueueMismatch:
+      return "ST-2 condition-queue mismatch";
+    case RuleId::kSt3aMultipleRunning:
+      return "ST-3a multiple processes inside monitor";
+    case RuleId::kSt3bRunnerNotSole:
+      return "ST-3b event from process not sole runner";
+    case RuleId::kSt3cEnterWhileOccupied:
+      return "ST-3c entry granted while monitor occupied";
+    case RuleId::kSt3dBlockedWhileFree:
+      return "ST-3d entry blocked while monitor free";
+    case RuleId::kSt4EventFromBlockedProcess:
+      return "ST-4 event from blocked process";
+    case RuleId::kSt5ResidenceExceedsTmax:
+      return "ST-5 monitor residence exceeds Tmax";
+    case RuleId::kSt6EntryWaitExceedsTio:
+      return "ST-6 entry wait exceeds Tio";
+    case RuleId::kSt7aReceiveExceedsSend:
+      return "ST-7a receives exceed sends";
+    case RuleId::kSt7aSendExceedsCapacity:
+      return "ST-7a sends exceed capacity";
+    case RuleId::kSt7bResourceBalanceMismatch:
+      return "ST-7b resource balance mismatch";
+    case RuleId::kSt7cSendDelayedWhenNotFull:
+      return "ST-7c Send delayed when buffer not full";
+    case RuleId::kSt7dReceiveDelayedWhenNotEmpty:
+      return "ST-7d Receive delayed when buffer not empty";
+    case RuleId::kSt8aDuplicateAcquire:
+      return "ST-8a duplicate acquire";
+    case RuleId::kSt8bReleaseWithoutAcquire:
+      return "ST-8b release without acquire";
+    case RuleId::kSt8cHoldExceedsTlimit:
+      return "ST-8c resource hold exceeds Tlimit";
+    case RuleId::kStRunningMismatch:
+      return "ST running-process mismatch";
+    case RuleId::kFd1aMutualExclusion:
+      return "FD-1a mutual exclusion";
+    case RuleId::kFd1bEntryQueueService:
+      return "FD-1b entry-queue service";
+    case RuleId::kFd1cCondQueueService:
+      return "FD-1c condition-queue service";
+    case RuleId::kFd1dOperateWithoutEnter:
+      return "FD-1d operation without Enter";
+    case RuleId::kFd2NonTermination:
+      return "FD-2 nontermination inside monitor";
+    case RuleId::kFd3UnfairResponse:
+      return "FD-3 unfair response";
+    case RuleId::kFd4StarvationOrLoss:
+      return "FD-4 starvation or lost process";
+    case RuleId::kFd5aWrongWaitResume:
+      return "FD-5a wrong condition resume";
+    case RuleId::kFd5bWrongEntryResume:
+      return "FD-5b wrong entry resume";
+    case RuleId::kFd6aResourceCountInvariant:
+      return "FD-6a resource count invariant";
+    case RuleId::kFd6bSendDelayInvariant:
+      return "FD-6b send delay invariant";
+    case RuleId::kFd6cReceiveDelayInvariant:
+      return "FD-6c receive delay invariant";
+    case RuleId::kFd7aAcquireNeverReleased:
+      return "FD-7a acquire never released";
+    case RuleId::kFd7bReleaseWithoutAcquire:
+      return "FD-7b release without acquire";
+    case RuleId::kRealTimeOrder:
+      return "real-time call-order violation";
+    case RuleId::kUserAssertion:
+      return "monitor assertion failed";
+  }
+  return "?";
+}
+
+FaultLevel level_of(RuleId rule) {
+  switch (rule) {
+    case RuleId::kSt7aReceiveExceedsSend:
+    case RuleId::kSt7aSendExceedsCapacity:
+    case RuleId::kSt7bResourceBalanceMismatch:
+    case RuleId::kSt7cSendDelayedWhenNotFull:
+    case RuleId::kSt7dReceiveDelayedWhenNotEmpty:
+    case RuleId::kFd6aResourceCountInvariant:
+    case RuleId::kFd6bSendDelayInvariant:
+    case RuleId::kFd6cReceiveDelayInvariant:
+      return FaultLevel::kMonitorProcedure;
+    case RuleId::kSt8aDuplicateAcquire:
+    case RuleId::kSt8bReleaseWithoutAcquire:
+    case RuleId::kSt8cHoldExceedsTlimit:
+    case RuleId::kFd7aAcquireNeverReleased:
+    case RuleId::kFd7bReleaseWithoutAcquire:
+    case RuleId::kRealTimeOrder:
+      return FaultLevel::kUserProcess;
+    case RuleId::kUserAssertion:
+      return FaultLevel::kMonitorProcedure;
+    default:
+      return FaultLevel::kImplementation;
+  }
+}
+
+std::string describe(const FaultReport& report,
+                     const trace::SymbolTable& symbols) {
+  std::ostringstream out;
+  out << "[" << to_string(level_of(report.rule)) << "] "
+      << to_string(report.rule);
+  if (report.pid != trace::kNoPid) out << " pid=p" << report.pid;
+  if (report.proc != trace::kNoSymbol) {
+    out << " proc=" << symbols.name(report.proc);
+  }
+  if (report.cond != trace::kNoSymbol) {
+    out << " cond=" << symbols.name(report.cond);
+  }
+  if (report.suspected) {
+    out << " suspected=" << paper_designation(*report.suspected) << " ("
+        << to_string(*report.suspected) << ")";
+  }
+  if (!report.message.empty()) out << ": " << report.message;
+  return out.str();
+}
+
+void CollectingSink::report(const FaultReport& fault) {
+  std::lock_guard<std::mutex> lock(mu_);
+  reports_.push_back(fault);
+}
+
+std::vector<FaultReport> CollectingSink::reports() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reports_;
+}
+
+std::size_t CollectingSink::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reports_.size();
+}
+
+bool CollectingSink::any_with_rule(RuleId rule) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& r : reports_) {
+    if (r.rule == rule) return true;
+  }
+  return false;
+}
+
+void CollectingSink::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  reports_.clear();
+}
+
+}  // namespace robmon::core

@@ -1,0 +1,157 @@
+// The paper's taxonomy of monitor concurrency-control faults (Section 2.2):
+// twenty-one faults over three levels, plus the rule identifiers (FD-Rules of
+// Section 3.2, ST-Rules of Section 3.3.2) whose violation detects them, and
+// the FaultReport/ReportSink types used to deliver detections.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/event.hpp"
+#include "util/clock.hpp"
+
+namespace robmon::core {
+
+/// The three levels of Section 2.2.
+enum class FaultLevel {
+  kImplementation,    ///< Level I: Enter/Wait/Signal-Exit procedure faults.
+  kMonitorProcedure,  ///< Level II: resource-state integrity violations.
+  kUserProcess,       ///< Level III: partial-ordering violations.
+};
+
+std::string_view to_string(FaultLevel level);
+
+/// The twenty-one fault classes, numbered per Section 2.2.
+enum class FaultKind : std::uint8_t {
+  // Level I(a): Enter procedure faults.
+  kEnterMutualExclusionViolation = 0,  ///< I.a.1 two processes entered.
+  kEnterRequestLost,                   ///< I.a.2 request neither queued nor admitted.
+  kEnterNoResponse,                    ///< I.a.3 queued indefinitely / blocked while free.
+  kEnterNotObserved,                   ///< I.a.4 runs inside without calling Enter.
+  // Level I(b): Wait procedure faults.
+  kWaitNoBlock,                    ///< I.b.1 caller not blocked, keeps running.
+  kWaitProcessLost,                ///< I.b.2 caller neither queued nor running.
+  kWaitEntryNotResumed,            ///< I.b.3 no entry waiter resumed on wait.
+  kWaitEntryStarved,               ///< I.b.4 entry waiter never resumed.
+  kWaitMutualExclusionViolation,   ///< I.b.5 more than one entry waiter resumed.
+  kWaitMonitorNotReleased,         ///< I.b.6 caller blocked but monitor kept.
+  // Level I(c): Signal-Exit procedure faults (+ internal termination).
+  kSignalExitNoResume,                  ///< I.c.1 nobody resumed on exit.
+  kSignalExitMonitorNotReleased,        ///< I.c.2 exit but monitor kept.
+  kSignalExitMutualExclusionViolation,  ///< I.c.3 more than one resumed.
+  kTerminationInsideMonitor,            ///< I.c.4 process terminated inside.
+  // Level II: monitor procedure faults (communication coordinator).
+  kSendDelayWrong,        ///< II.a Send delayed iff buffer full violated.
+  kReceiveDelayWrong,     ///< II.b Receive delayed iff buffer empty violated.
+  kReceiveExceedsSend,    ///< II.c successful receives exceed sends.
+  kSendExceedsCapacity,   ///< II.d sends exceed receives + capacity.
+  // Level III: user process faults (resource-access-right allocator).
+  kReleaseBeforeAcquire,    ///< III.a release without prior acquire.
+  kResourceNeverReleased,   ///< III.b acquired but never released.
+  kDoubleAcquireDeadlock,   ///< III.c re-acquire without release (deadlock).
+};
+
+constexpr std::size_t kFaultKindCount = 21;
+
+FaultLevel level_of(FaultKind kind);
+std::string_view to_string(FaultKind kind);
+std::string_view paper_designation(FaultKind kind);  ///< e.g. "I.a.1".
+std::string_view description(FaultKind kind);
+
+/// All 21 kinds in taxonomy order (for sweeps and the coverage matrix).
+const std::vector<FaultKind>& all_fault_kinds();
+
+/// Identifiers of the rules whose violation the detector reports.
+/// kSt* are the state-transition rules of Section 3.3.2 (checked by
+/// Algorithms 1-3); kFd* are the declarative rules of Section 3.2 (checked
+/// by the offline validator); kRealTimeOrder is the real-time path-expression
+/// phase of Section 3.3.
+enum class RuleId : std::uint8_t {
+  // ST-Rules (interval checking).
+  kSt1EntryQueueMismatch,
+  kSt2CondQueueMismatch,
+  kSt3aMultipleRunning,
+  kSt3bRunnerNotSole,
+  kSt3cEnterWhileOccupied,
+  kSt3dBlockedWhileFree,
+  kSt4EventFromBlockedProcess,
+  kSt5ResidenceExceedsTmax,
+  kSt6EntryWaitExceedsTio,
+  kSt7aReceiveExceedsSend,
+  kSt7aSendExceedsCapacity,
+  kSt7bResourceBalanceMismatch,
+  kSt7cSendDelayedWhenNotFull,
+  kSt7dReceiveDelayedWhenNotEmpty,
+  kSt8aDuplicateAcquire,
+  kSt8bReleaseWithoutAcquire,
+  kSt8cHoldExceedsTlimit,
+  kStRunningMismatch,  ///< Running-List vs snapshot Running disagreement.
+  // FD-Rules (offline / T=1 validation).
+  kFd1aMutualExclusion,
+  kFd1bEntryQueueService,
+  kFd1cCondQueueService,
+  kFd1dOperateWithoutEnter,
+  kFd2NonTermination,
+  kFd3UnfairResponse,
+  kFd4StarvationOrLoss,
+  kFd5aWrongWaitResume,
+  kFd5bWrongEntryResume,
+  kFd6aResourceCountInvariant,
+  kFd6bSendDelayInvariant,
+  kFd6cReceiveDelayInvariant,
+  kFd7aAcquireNeverReleased,
+  kFd7bReleaseWithoutAcquire,
+  // Real-time phase.
+  kRealTimeOrder,
+  // Section 5 extension: predefined / user-supplied assertion failed.
+  kUserAssertion,
+};
+
+std::string_view to_string(RuleId rule);
+
+/// Level implied by the violated rule (for report classification).
+FaultLevel level_of(RuleId rule);
+
+/// One detection, produced by a checking routine.
+struct FaultReport {
+  RuleId rule;
+  std::optional<FaultKind> suspected;  ///< Best-effort taxonomy class.
+  trace::Pid pid = trace::kNoPid;      ///< Offending process, if known.
+  trace::SymbolId proc = trace::kNoSymbol;
+  trace::SymbolId cond = trace::kNoSymbol;
+  std::uint64_t event_seq = 0;   ///< Offending event, when applicable.
+  util::TimeNs detected_at = 0;  ///< Checking-routine invocation time.
+  std::string message;
+};
+
+std::string describe(const FaultReport& report,
+                     const trace::SymbolTable& symbols);
+
+/// Destination for detections.  Implementations must be thread-safe when
+/// shared with a checker thread.
+class ReportSink {
+ public:
+  virtual ~ReportSink() = default;
+  virtual void report(const FaultReport& fault) = 0;
+};
+
+/// Thread-safe accumulating sink (default choice in tests and benches).
+class CollectingSink final : public ReportSink {
+ public:
+  void report(const FaultReport& fault) override;
+
+  std::vector<FaultReport> reports() const;
+  std::size_t count() const;
+  bool any_with_rule(RuleId rule) const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<FaultReport> reports_;
+};
+
+}  // namespace robmon::core

@@ -1,0 +1,34 @@
+// Declarative validator for the FD-Rules of Section 3.2.
+//
+// Where Algorithms 1-3 check a segment between two checking points against
+// the ST-Rules, this validator takes a *complete* history — every event plus
+// the scheduling state after every event (the paper's "When T = 1, the
+// checking becomes real-time") — and evaluates the seven fault-detection
+// rules directly, with their original quantifier structure.  It is
+// deliberately implemented independently of the checking lists so that the
+// paper's equivalence claim ("any violation of the FD-Rules 1-7 will lead to
+// a violation of the ST-Rules") can be tested rather than assumed.
+//
+// Inputs: states[0] is the initial state; states[i+1] is the state
+// immediately after events[i]; final_time is the time at which the history
+// was closed (used by the timeout rules FD-2/FD-4/FD-7a).
+#pragma once
+
+#include <vector>
+
+#include "core/fault.hpp"
+#include "core/monitor_spec.hpp"
+#include "trace/event.hpp"
+#include "trace/snapshot.hpp"
+
+namespace robmon::core {
+
+/// Evaluate FD-Rules 1-7.  Throws std::invalid_argument when
+/// states.size() != events.size() + 1.
+std::vector<FaultReport> validate_fd_rules(
+    const MonitorSpec& spec, trace::SymbolTable& symbols,
+    const std::vector<trace::EventRecord>& events,
+    const std::vector<trace::SchedulingState>& states,
+    util::TimeNs final_time);
+
+}  // namespace robmon::core

@@ -1,0 +1,57 @@
+#include "core/monitor_spec.hpp"
+
+#include <stdexcept>
+
+namespace robmon::core {
+
+std::string_view to_string(MonitorType type) {
+  switch (type) {
+    case MonitorType::kCommunicationCoordinator:
+      return "coordinator";
+    case MonitorType::kResourceAllocator:
+      return "allocator";
+    case MonitorType::kOperationManager:
+      return "manager";
+  }
+  return "?";
+}
+
+MonitorType monitor_type_from_string(std::string_view text) {
+  if (text == "coordinator") return MonitorType::kCommunicationCoordinator;
+  if (text == "allocator") return MonitorType::kResourceAllocator;
+  if (text == "manager") return MonitorType::kOperationManager;
+  throw std::invalid_argument("unknown monitor type: " + std::string(text));
+}
+
+std::string MonitorSpec::effective_path_expression() const {
+  if (!path_expression.empty()) return path_expression;
+  if (type == MonitorType::kResourceAllocator) {
+    return "(" + acquire_procedure + " ; " + release_procedure + ")*";
+  }
+  return {};
+}
+
+MonitorSpec MonitorSpec::coordinator(std::string monitor_name,
+                                     std::int64_t capacity) {
+  MonitorSpec spec;
+  spec.name = std::move(monitor_name);
+  spec.type = MonitorType::kCommunicationCoordinator;
+  spec.rmax = capacity;
+  return spec;
+}
+
+MonitorSpec MonitorSpec::allocator(std::string monitor_name) {
+  MonitorSpec spec;
+  spec.name = std::move(monitor_name);
+  spec.type = MonitorType::kResourceAllocator;
+  return spec;
+}
+
+MonitorSpec MonitorSpec::manager(std::string monitor_name) {
+  MonitorSpec spec;
+  spec.name = std::move(monitor_name);
+  spec.type = MonitorType::kOperationManager;
+  return spec;
+}
+
+}  // namespace robmon::core

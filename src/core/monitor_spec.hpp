@@ -1,0 +1,72 @@
+// Monitor classification (Section 2.1) and the augmented monitor declaration
+// (Section 4): name, type, integrity parameters (buffer capacity Rmax),
+// procedure-call partial order (path expression), and the timing parameters
+// of the detection model (Tmax, Tio, Tlimit, checking period T).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/clock.hpp"
+
+namespace robmon::core {
+
+/// The three functional monitor types of Section 2.1.
+enum class MonitorType {
+  kCommunicationCoordinator,  ///< Send/Receive over a bounded buffer.
+  kResourceAllocator,         ///< Acquire/Release of access rights.
+  kOperationManager,          ///< Implicit synchronization of operations.
+};
+
+std::string_view to_string(MonitorType type);
+
+/// Parse "coordinator" | "allocator" | "manager" (codec round-trip).
+MonitorType monitor_type_from_string(std::string_view text);
+
+/// Augmented monitor declaration.  Timing fields follow Section 3.3:
+///   Tmax   — maximum time any process may be inside the monitor (running or
+///            waiting on a condition queue); exceeding it indicates internal
+///            termination or lost signals (ST-Rule 5).
+///   Tio    — timeout for interpreting deadlock/starvation on the entry
+///            queue (ST-Rule 6).
+///   Tlimit — maximum resource-holding time for allocator monitors
+///            (ST-Rule 8c).
+///   check_period (T) — periodic checking interval; the paper requires
+///            Tmax < T for post-checking mode; T equal to 0 requests
+///            per-event ("real-time", T=1 in the paper's terms) checking.
+struct MonitorSpec {
+  std::string name = "monitor";
+  MonitorType type = MonitorType::kOperationManager;
+
+  /// Rmax: buffer capacity (coordinator type only).
+  std::int64_t rmax = 0;
+
+  /// Procedure / condition names carrying special meaning per type.
+  std::string send_procedure = "Send";
+  std::string receive_procedure = "Receive";
+  std::string full_condition = "full";
+  std::string empty_condition = "empty";
+  std::string acquire_procedure = "Acquire";
+  std::string release_procedure = "Release";
+
+  /// Partial order of procedure calls (allocator type), path-expression
+  /// notation.  Empty means "use the canonical allocator order
+  /// (Acquire ; Release)*" for allocator monitors, or no constraint.
+  std::string path_expression;
+
+  util::TimeNs t_max = 50 * util::kMillisecond;
+  util::TimeNs t_io = 200 * util::kMillisecond;
+  util::TimeNs t_limit = 200 * util::kMillisecond;
+  util::TimeNs check_period = 500 * util::kMillisecond;
+
+  /// Effective path expression (defaulting rule above).
+  std::string effective_path_expression() const;
+
+  /// Factory helpers for the three types.
+  static MonitorSpec coordinator(std::string name, std::int64_t capacity);
+  static MonitorSpec allocator(std::string name);
+  static MonitorSpec manager(std::string name);
+};
+
+}  // namespace robmon::core

@@ -1,0 +1,50 @@
+#include "core/replay.hpp"
+
+#include <stdexcept>
+
+namespace robmon::core {
+
+ReplayResult replay_trace(const trace::TraceFile& file,
+                          const MonitorSpec& spec) {
+  if (file.checkpoints.empty()) {
+    throw std::invalid_argument(
+        "replay_trace: trace has no checkpoints (need at least the initial "
+        "state)");
+  }
+
+  // Rebuild the symbol table with the same dense ids.
+  trace::SymbolTable symbols;
+  for (const auto& name : file.symbols) symbols.intern(name);
+
+  CollectingSink sink;
+  Detector detector(spec, symbols, sink);
+  detector.initialize(file.checkpoints.front());
+
+  ReplayResult result;
+  std::size_t cursor = 0;
+  for (std::size_t k = 1; k < file.checkpoints.size(); ++k) {
+    const auto& checkpoint = file.checkpoints[k];
+    std::vector<trace::EventRecord> segment;
+    while (cursor < file.events.size() &&
+           file.events[cursor].time <= checkpoint.captured_at) {
+      segment.push_back(file.events[cursor]);
+      ++cursor;
+    }
+    detector.check(segment, checkpoint, checkpoint.captured_at);
+    ++result.checkpoints_processed;
+    result.events_processed += segment.size();
+  }
+  result.events_unchecked = file.events.size() - cursor;
+  result.reports = sink.reports();
+  return result;
+}
+
+ReplayResult replay_trace(const trace::TraceFile& file) {
+  MonitorSpec spec;
+  spec.name = file.monitor_name;
+  spec.type = monitor_type_from_string(file.monitor_type);
+  spec.rmax = file.rmax;
+  return replay_trace(file, spec);
+}
+
+}  // namespace robmon::core

@@ -1,0 +1,33 @@
+// Offline replay: run the periodic detection algorithms over a recorded
+// trace (codec.hpp format).  Convention: checkpoints[0] is the scheduling
+// state at detector start; each subsequent checkpoint is one checking point,
+// whose segment is every event with time greater than the previous
+// checkpoint's capture time and at most its own.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "core/fault.hpp"
+#include "core/monitor_spec.hpp"
+#include "trace/codec.hpp"
+
+namespace robmon::core {
+
+struct ReplayResult {
+  std::vector<FaultReport> reports;
+  std::size_t checkpoints_processed = 0;
+  std::size_t events_processed = 0;
+  /// Events recorded after the final checkpoint (never checked).
+  std::size_t events_unchecked = 0;
+};
+
+/// Replay with an explicit spec (timing parameters matter for Timer rules).
+ReplayResult replay_trace(const trace::TraceFile& file,
+                          const MonitorSpec& spec);
+
+/// Replay with a spec derived from the trace header (default timing).
+ReplayResult replay_trace(const trace::TraceFile& file);
+
+}  // namespace robmon::core

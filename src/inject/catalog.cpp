@@ -1,0 +1,175 @@
+#include "inject/catalog.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace robmon::inject {
+
+namespace {
+
+using core::FaultKind;
+using core::MonitorType;
+using core::RuleId;
+
+/// Any implementation-level (Level I) fault manifests as a violation of the
+/// general concurrency-control rules checked by Algorithm-1.  A single
+/// injected fault typically triggers a *cascade* (e.g. a lost entry request
+/// desynchronizes the rebuilt Enter-0-List, so later admissions replay
+/// wrongly and trip ST-3/ST-4 as well as the final list comparisons); the
+/// paper's claim is that the fault is detected, not which of the entangled
+/// rules fires first, so detection of a Level-I fault counts any of these.
+std::vector<RuleId> level1_rules() {
+  return {RuleId::kSt1EntryQueueMismatch,   RuleId::kSt2CondQueueMismatch,
+          RuleId::kSt3aMultipleRunning,     RuleId::kSt3bRunnerNotSole,
+          RuleId::kSt3cEnterWhileOccupied,  RuleId::kSt3dBlockedWhileFree,
+          RuleId::kSt4EventFromBlockedProcess,
+          RuleId::kSt5ResidenceExceedsTmax, RuleId::kSt6EntryWaitExceedsTio,
+          RuleId::kStRunningMismatch};
+}
+
+/// Level II faults violate the resource-state rules of Algorithm-2.
+std::vector<RuleId> level2_rules() {
+  return {RuleId::kSt7aReceiveExceedsSend, RuleId::kSt7aSendExceedsCapacity,
+          RuleId::kSt7bResourceBalanceMismatch,
+          RuleId::kSt7cSendDelayedWhenNotFull,
+          RuleId::kSt7dReceiveDelayedWhenNotEmpty};
+}
+
+/// Level III faults violate the calling-order rules of Algorithm-3 or the
+/// real-time path-expression phase.
+std::vector<RuleId> level3_rules() {
+  return {RuleId::kSt8aDuplicateAcquire, RuleId::kSt8bReleaseWithoutAcquire,
+          RuleId::kSt8cHoldExceedsTlimit, RuleId::kRealTimeOrder};
+}
+
+CatalogEntry make_entry(FaultKind kind,
+                        std::vector<RuleId> characteristic_rules,
+                        bool timer_based) {
+  CatalogEntry entry;
+  entry.kind = kind;
+  entry.exercised_on = core::level_of(kind) == core::FaultLevel::kUserProcess
+                           ? MonitorType::kResourceAllocator
+                           : MonitorType::kCommunicationCoordinator;
+  switch (core::level_of(kind)) {
+    case core::FaultLevel::kImplementation:
+      entry.detecting_rules = level1_rules();
+      break;
+    case core::FaultLevel::kMonitorProcedure:
+      entry.detecting_rules = level2_rules();
+      break;
+    case core::FaultLevel::kUserProcess:
+      entry.detecting_rules = level3_rules();
+      break;
+  }
+  entry.characteristic_rules = std::move(characteristic_rules);
+  entry.timer_based = timer_based;
+  return entry;
+}
+
+std::vector<CatalogEntry> build_catalog() {
+  return {
+      // Level I — implementation faults.
+      make_entry(FaultKind::kEnterMutualExclusionViolation,
+                 {RuleId::kSt3cEnterWhileOccupied,
+                  RuleId::kSt3aMultipleRunning},
+                 false),
+      make_entry(FaultKind::kEnterRequestLost,
+                 {RuleId::kSt1EntryQueueMismatch,
+                  RuleId::kSt4EventFromBlockedProcess},
+                 false),
+      make_entry(FaultKind::kEnterNoResponse,
+                 {RuleId::kSt3dBlockedWhileFree,
+                  RuleId::kSt6EntryWaitExceedsTio},
+                 true),
+      make_entry(FaultKind::kEnterNotObserved,
+                 {RuleId::kSt3bRunnerNotSole, RuleId::kStRunningMismatch},
+                 false),
+      make_entry(FaultKind::kWaitNoBlock,
+                 {RuleId::kSt4EventFromBlockedProcess,
+                  RuleId::kSt2CondQueueMismatch},
+                 false),
+      make_entry(FaultKind::kWaitProcessLost,
+                 {RuleId::kSt2CondQueueMismatch},
+                 false),
+      make_entry(FaultKind::kWaitEntryNotResumed,
+                 {RuleId::kSt1EntryQueueMismatch,
+                  RuleId::kStRunningMismatch},
+                 false),
+      make_entry(FaultKind::kWaitEntryStarved,
+                 {RuleId::kSt6EntryWaitExceedsTio,
+                  RuleId::kSt1EntryQueueMismatch},
+                 true),
+      make_entry(FaultKind::kWaitMutualExclusionViolation,
+                 {RuleId::kSt3bRunnerNotSole,
+                  RuleId::kSt4EventFromBlockedProcess},
+                 false),
+      make_entry(FaultKind::kWaitMonitorNotReleased,
+                 {RuleId::kStRunningMismatch,
+                  RuleId::kSt6EntryWaitExceedsTio},
+                 false),
+      make_entry(FaultKind::kSignalExitNoResume,
+                 {RuleId::kSt1EntryQueueMismatch,
+                  RuleId::kSt5ResidenceExceedsTmax},
+                 true),
+      make_entry(FaultKind::kSignalExitMonitorNotReleased,
+                 {RuleId::kStRunningMismatch,
+                  RuleId::kSt5ResidenceExceedsTmax},
+                 false),
+      make_entry(FaultKind::kSignalExitMutualExclusionViolation,
+                 {RuleId::kSt3bRunnerNotSole,
+                  RuleId::kSt4EventFromBlockedProcess},
+                 false),
+      make_entry(FaultKind::kTerminationInsideMonitor,
+                 {RuleId::kSt5ResidenceExceedsTmax},
+                 true),
+      // Level II — monitor procedure faults.
+      make_entry(FaultKind::kSendDelayWrong,
+                 {RuleId::kSt7cSendDelayedWhenNotFull},
+                 false),
+      make_entry(FaultKind::kReceiveDelayWrong,
+                 {RuleId::kSt7dReceiveDelayedWhenNotEmpty},
+                 false),
+      make_entry(FaultKind::kReceiveExceedsSend,
+                 {RuleId::kSt7aReceiveExceedsSend},
+                 false),
+      make_entry(FaultKind::kSendExceedsCapacity,
+                 {RuleId::kSt7aSendExceedsCapacity},
+                 false),
+      // Level III — user process faults.
+      make_entry(FaultKind::kReleaseBeforeAcquire,
+                 {RuleId::kSt8bReleaseWithoutAcquire, RuleId::kRealTimeOrder},
+                 false),
+      make_entry(FaultKind::kResourceNeverReleased,
+                 {RuleId::kSt8cHoldExceedsTlimit},
+                 true),
+      make_entry(FaultKind::kDoubleAcquireDeadlock,
+                 {RuleId::kSt8aDuplicateAcquire, RuleId::kRealTimeOrder},
+                 false),
+  };
+}
+
+}  // namespace
+
+const std::vector<CatalogEntry>& fault_catalog() {
+  static const std::vector<CatalogEntry> catalog = build_catalog();
+  return catalog;
+}
+
+const CatalogEntry& catalog_entry(core::FaultKind kind) {
+  for (const auto& entry : fault_catalog()) {
+    if (entry.kind == kind) return entry;
+  }
+  throw std::out_of_range("no catalog entry for fault kind");
+}
+
+bool detected(const CatalogEntry& entry,
+              const std::vector<core::FaultReport>& reports) {
+  return std::any_of(
+      reports.begin(), reports.end(), [&](const core::FaultReport& report) {
+        return std::find(entry.detecting_rules.begin(),
+                         entry.detecting_rules.end(),
+                         report.rule) != entry.detecting_rules.end();
+      });
+}
+
+}  // namespace robmon::inject

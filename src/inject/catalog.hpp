@@ -1,0 +1,38 @@
+// The fault catalog: for each of the paper's 21 taxonomy classes, which
+// detection rules are expected to flag it.  Drives the coverage matrix
+// (the paper's robustness evaluation: "all injected faults are detected")
+// and the completeness property tests.
+#pragma once
+
+#include <vector>
+
+#include "core/fault.hpp"
+#include "core/monitor_spec.hpp"
+
+namespace robmon::inject {
+
+struct CatalogEntry {
+  core::FaultKind kind;
+  /// Monitor type on which the class is exercised (Level II faults need a
+  /// coordinator, Level III an allocator; Level I uses any — we use the
+  /// coordinator workload).
+  core::MonitorType exercised_on;
+  /// Detection counts if the detector reported *any* of these rules.  For
+  /// Level I this is the full Algorithm-1 rule set: a single implementation
+  /// fault desynchronizes the checking lists and typically trips a cascade
+  /// of entangled rules, and the paper claims detection, not attribution.
+  std::vector<core::RuleId> detecting_rules;
+  /// The rules most characteristic of the class (documentation/matrix).
+  std::vector<core::RuleId> characteristic_rules;
+  /// Detection requires a timeout horizon (Tmax/Tio/Tlimit) to pass.
+  bool timer_based;
+};
+
+const std::vector<CatalogEntry>& fault_catalog();
+const CatalogEntry& catalog_entry(core::FaultKind kind);
+
+/// Does any report match the entry's expected rules?
+bool detected(const CatalogEntry& entry,
+              const std::vector<core::FaultReport>& reports);
+
+}  // namespace robmon::inject

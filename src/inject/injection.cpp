@@ -1,0 +1,96 @@
+#include "inject/injection.hpp"
+
+namespace robmon::inject {
+
+NullInjection& NullInjection::instance() {
+  static NullInjection controller;
+  return controller;
+}
+
+bool ScriptedInjection::fire(core::FaultKind kind, trace::Pid pid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (kind != plan_.kind) return false;
+  if (plan_.target != trace::kNoPid && pid != plan_.target) return false;
+  if (fired_) {
+    // Sticky faults keep striking their victim.
+    return plan_.sticky && pid == victim_;
+  }
+  ++opportunities_;
+  if (opportunities_ < plan_.nth) return false;
+  fired_ = true;
+  victim_ = pid;
+  return true;
+}
+
+bool ScriptedInjection::active(core::FaultKind kind, trace::Pid pid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_ && kind == plan_.kind && pid == victim_;
+}
+
+bool ScriptedInjection::fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_;
+}
+
+std::optional<trace::Pid> ScriptedInjection::victim() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!fired_) return std::nullopt;
+  return victim_;
+}
+
+RandomInjection::RandomInjection(core::FaultKind kind, double probability,
+                                 std::uint64_t seed)
+    : kind_(kind), probability_(probability), rng_(seed) {}
+
+bool RandomInjection::fire(core::FaultKind kind, trace::Pid pid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (kind != kind_) return false;
+  if (sticky_engaged_) return pid == first_victim_;
+  if (!rng_.chance(probability_)) return false;
+  ++fired_count_;
+  if (first_victim_ == trace::kNoPid) first_victim_ = pid;
+  if (is_sticky_fault(kind_)) sticky_engaged_ = true;
+  return true;
+}
+
+bool RandomInjection::active(core::FaultKind kind, trace::Pid pid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return kind == kind_ && first_victim_ != trace::kNoPid &&
+         pid == first_victim_;
+}
+
+std::int64_t RandomInjection::times_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_count_;
+}
+
+std::optional<trace::Pid> RandomInjection::victim() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (first_victim_ == trace::kNoPid) return std::nullopt;
+  return first_victim_;
+}
+
+bool is_sticky_fault(core::FaultKind kind) {
+  switch (kind) {
+    case core::FaultKind::kEnterNoResponse:   // victim stays unserved
+    case core::FaultKind::kWaitEntryStarved:  // victim skipped repeatedly
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool needs_timer(core::FaultKind kind) {
+  switch (kind) {
+    case core::FaultKind::kEnterNoResponse:        // Tio
+    case core::FaultKind::kWaitEntryStarved:       // Tio
+    case core::FaultKind::kSignalExitNoResume:     // Tmax on cond waiters
+    case core::FaultKind::kTerminationInsideMonitor:  // Tmax
+    case core::FaultKind::kResourceNeverReleased:  // Tlimit
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace robmon::inject

@@ -1,0 +1,103 @@
+#include "pathexpr/ast.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace robmon::pathexpr {
+
+NodePtr Node::make_name(std::string value) {
+  auto node = std::make_unique<Node>();
+  node->kind = NodeKind::kName;
+  node->name = std::move(value);
+  return node;
+}
+
+NodePtr Node::make_seq(std::vector<NodePtr> children) {
+  auto node = std::make_unique<Node>();
+  node->kind = NodeKind::kSeq;
+  node->children = std::move(children);
+  return node;
+}
+
+NodePtr Node::make_alt(std::vector<NodePtr> children) {
+  auto node = std::make_unique<Node>();
+  node->kind = NodeKind::kAlt;
+  node->children = std::move(children);
+  return node;
+}
+
+namespace {
+NodePtr make_unary(NodeKind kind, NodePtr child) {
+  auto node = std::make_unique<Node>();
+  node->kind = kind;
+  node->children.push_back(std::move(child));
+  return node;
+}
+}  // namespace
+
+NodePtr Node::make_star(NodePtr child) {
+  return make_unary(NodeKind::kStar, std::move(child));
+}
+NodePtr Node::make_plus(NodePtr child) {
+  return make_unary(NodeKind::kPlus, std::move(child));
+}
+NodePtr Node::make_opt(NodePtr child) {
+  return make_unary(NodeKind::kOpt, std::move(child));
+}
+
+std::string to_string(const Node& node) {
+  std::ostringstream out;
+  switch (node.kind) {
+    case NodeKind::kName:
+      out << node.name;
+      break;
+    case NodeKind::kSeq: {
+      out << "(";
+      for (std::size_t i = 0; i < node.children.size(); ++i) {
+        if (i) out << " ; ";
+        out << to_string(*node.children[i]);
+      }
+      out << ")";
+      break;
+    }
+    case NodeKind::kAlt: {
+      out << "(";
+      for (std::size_t i = 0; i < node.children.size(); ++i) {
+        if (i) out << " , ";
+        out << to_string(*node.children[i]);
+      }
+      out << ")";
+      break;
+    }
+    case NodeKind::kStar:
+      out << to_string(*node.children[0]) << "*";
+      break;
+    case NodeKind::kPlus:
+      out << to_string(*node.children[0]) << "+";
+      break;
+    case NodeKind::kOpt:
+      out << to_string(*node.children[0]) << "?";
+      break;
+  }
+  return out.str();
+}
+
+namespace {
+void collect_names(const Node& node, std::vector<std::string>& out) {
+  if (node.kind == NodeKind::kName) {
+    if (std::find(out.begin(), out.end(), node.name) == out.end()) {
+      out.push_back(node.name);
+    }
+    return;
+  }
+  for (const auto& child : node.children) collect_names(*child, out);
+}
+}  // namespace
+
+std::vector<std::string> alphabet(const Node& node) {
+  std::vector<std::string> names;
+  collect_names(node, names);
+  return names;
+}
+
+}  // namespace robmon::pathexpr

@@ -1,0 +1,53 @@
+// AST for path-expression-like call-order specifications (paper Section 3:
+// "A convenient way to specify the partial order relation is path-expression
+// like notation", citing Campbell & Kolstad).
+//
+// Grammar (',' = selection, ';' = sequence, postfix '*' '+' '?'):
+//   spec    := "path" expr "end" | expr
+//   expr    := seq ("," seq)*
+//   seq     := postfix (";" postfix)*
+//   postfix := primary ("*" | "+" | "?")*
+//   primary := IDENT | "(" expr ")"
+//
+// Example (resource-access-right allocator): path (Acquire ; Release)* end
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace robmon::pathexpr {
+
+enum class NodeKind {
+  kName,  ///< A monitor procedure name.
+  kSeq,   ///< Sequence: children in order.
+  kAlt,   ///< Selection: any one child.
+  kStar,  ///< Zero or more repetitions of the single child.
+  kPlus,  ///< One or more repetitions.
+  kOpt,   ///< Zero or one occurrence.
+};
+
+struct Node;
+using NodePtr = std::unique_ptr<Node>;
+
+struct Node {
+  NodeKind kind;
+  std::string name;            ///< kName only.
+  std::vector<NodePtr> children;
+
+  static NodePtr make_name(std::string value);
+  static NodePtr make_seq(std::vector<NodePtr> children);
+  static NodePtr make_alt(std::vector<NodePtr> children);
+  static NodePtr make_star(NodePtr child);
+  static NodePtr make_plus(NodePtr child);
+  static NodePtr make_opt(NodePtr child);
+};
+
+/// Canonical textual rendering (fully parenthesized) for tests/debugging.
+std::string to_string(const Node& node);
+
+/// All distinct procedure names appearing in the expression, in first-seen
+/// order.  This is the matcher's alphabet; names outside it are unconstrained.
+std::vector<std::string> alphabet(const Node& node);
+
+}  // namespace robmon::pathexpr

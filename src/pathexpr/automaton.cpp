@@ -1,0 +1,294 @@
+#include "pathexpr/automaton.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+#include <stdexcept>
+
+#include "pathexpr/parser.hpp"
+
+namespace robmon::pathexpr {
+
+namespace {
+
+/// Fragment of an NFA under construction: entry and exit states.
+struct Fragment {
+  StateId in;
+  StateId out;
+};
+
+class NfaBuilder {
+ public:
+  explicit NfaBuilder(const Node& expr) {
+    nfa_.alphabet = alphabet(expr);
+    Fragment all = build(expr);
+    nfa_.start = all.in;
+    nfa_.accept = all.out;
+  }
+
+  Nfa take() { return std::move(nfa_); }
+
+ private:
+  StateId new_state() { return nfa_.state_count++; }
+
+  void edge(StateId from, std::int32_t symbol, StateId to) {
+    nfa_.transitions.push_back({from, symbol, to});
+  }
+
+  std::int32_t symbol_of(const std::string& name) const {
+    const auto it =
+        std::find(nfa_.alphabet.begin(), nfa_.alphabet.end(), name);
+    return static_cast<std::int32_t>(it - nfa_.alphabet.begin());
+  }
+
+  Fragment build(const Node& node) {
+    switch (node.kind) {
+      case NodeKind::kName: {
+        const StateId in = new_state();
+        const StateId out = new_state();
+        edge(in, symbol_of(node.name), out);
+        return {in, out};
+      }
+      case NodeKind::kSeq: {
+        Fragment acc = build(*node.children.front());
+        for (std::size_t i = 1; i < node.children.size(); ++i) {
+          const Fragment next = build(*node.children[i]);
+          edge(acc.out, -1, next.in);
+          acc.out = next.out;
+        }
+        return acc;
+      }
+      case NodeKind::kAlt: {
+        const StateId in = new_state();
+        const StateId out = new_state();
+        for (const auto& child : node.children) {
+          const Fragment branch = build(*child);
+          edge(in, -1, branch.in);
+          edge(branch.out, -1, out);
+        }
+        return {in, out};
+      }
+      case NodeKind::kStar: {
+        const StateId in = new_state();
+        const StateId out = new_state();
+        const Fragment body = build(*node.children[0]);
+        edge(in, -1, body.in);
+        edge(body.out, -1, out);
+        edge(in, -1, out);        // skip
+        edge(body.out, -1, body.in);  // repeat
+        return {in, out};
+      }
+      case NodeKind::kPlus: {
+        const StateId in = new_state();
+        const StateId out = new_state();
+        const Fragment body = build(*node.children[0]);
+        edge(in, -1, body.in);
+        edge(body.out, -1, out);
+        edge(body.out, -1, body.in);  // repeat, but no skip
+        return {in, out};
+      }
+      case NodeKind::kOpt: {
+        const StateId in = new_state();
+        const StateId out = new_state();
+        const Fragment body = build(*node.children[0]);
+        edge(in, -1, body.in);
+        edge(body.out, -1, out);
+        edge(in, -1, out);  // skip
+        return {in, out};
+      }
+    }
+    throw std::logic_error("unreachable node kind");
+  }
+
+  Nfa nfa_;
+};
+
+using StateSet = std::set<StateId>;
+
+StateSet epsilon_closure(const Nfa& nfa, const StateSet& states) {
+  StateSet closure = states;
+  std::queue<StateId> frontier;
+  for (StateId s : states) frontier.push(s);
+  while (!frontier.empty()) {
+    const StateId s = frontier.front();
+    frontier.pop();
+    for (const auto& t : nfa.transitions) {
+      if (t.from == s && t.symbol == -1 && !closure.count(t.to)) {
+        closure.insert(t.to);
+        frontier.push(t.to);
+      }
+    }
+  }
+  return closure;
+}
+
+StateSet move_on(const Nfa& nfa, const StateSet& states, std::int32_t symbol) {
+  StateSet out;
+  for (const auto& t : nfa.transitions) {
+    if (t.symbol == symbol && states.count(t.from)) out.insert(t.to);
+  }
+  return out;
+}
+
+}  // namespace
+
+Nfa build_nfa(const Node& expr) { return NfaBuilder(expr).take(); }
+
+std::int32_t Dfa::symbol_index(const std::string& name) const {
+  const auto it = std::find(alphabet.begin(), alphabet.end(), name);
+  if (it == alphabet.end()) return -1;
+  return static_cast<std::int32_t>(it - alphabet.begin());
+}
+
+Dfa determinize(const Nfa& nfa) {
+  Dfa dfa;
+  dfa.alphabet = nfa.alphabet;
+  const auto k = static_cast<std::int32_t>(dfa.alphabet.size());
+
+  std::map<StateSet, StateId> ids;
+  std::vector<StateSet> sets;
+  std::queue<StateId> work;
+
+  const StateSet start_set = epsilon_closure(nfa, {nfa.start});
+  ids[start_set] = 0;
+  sets.push_back(start_set);
+  work.push(0);
+  dfa.start = 0;
+
+  while (!work.empty()) {
+    const StateId current = work.front();
+    work.pop();
+    const StateSet current_set = sets[static_cast<std::size_t>(current)];
+    for (std::int32_t sym = 0; sym < k; ++sym) {
+      const StateSet moved =
+          epsilon_closure(nfa, move_on(nfa, current_set, sym));
+      StateId target = kDeadState;
+      if (!moved.empty()) {
+        auto [it, inserted] =
+            ids.emplace(moved, static_cast<StateId>(sets.size()));
+        if (inserted) {
+          sets.push_back(moved);
+          work.push(it->second);
+        }
+        target = it->second;
+      }
+      // Transition table grows lazily; fill after the loop below.
+      dfa.transitions.resize(sets.size() * static_cast<std::size_t>(k),
+                             kDeadState);
+      dfa.transitions[static_cast<std::size_t>(current) *
+                          static_cast<std::size_t>(k) +
+                      static_cast<std::size_t>(sym)] = target;
+    }
+  }
+
+  dfa.state_count = static_cast<std::int32_t>(sets.size());
+  dfa.transitions.resize(static_cast<std::size_t>(dfa.state_count) *
+                             static_cast<std::size_t>(k),
+                         kDeadState);
+  dfa.accepting.resize(static_cast<std::size_t>(dfa.state_count), false);
+  for (StateId s = 0; s < dfa.state_count; ++s) {
+    dfa.accepting[static_cast<std::size_t>(s)] =
+        sets[static_cast<std::size_t>(s)].count(nfa.accept) > 0;
+  }
+  return dfa;
+}
+
+Dfa minimize(const Dfa& dfa) {
+  const auto k = static_cast<std::int32_t>(dfa.alphabet.size());
+  const std::int32_t n = dfa.state_count;
+  if (n == 0) return dfa;
+
+  // Partition refinement.  Block 0 = non-accepting, block 1 = accepting
+  // (either may be empty; normalize below).  The implicit dead state is its
+  // own block and is represented by kDeadState directly.
+  std::vector<std::int32_t> block(static_cast<std::size_t>(n));
+  for (std::int32_t s = 0; s < n; ++s) {
+    block[static_cast<std::size_t>(s)] =
+        dfa.accepting[static_cast<std::size_t>(s)] ? 1 : 0;
+  }
+
+  bool changed = true;
+  std::int32_t block_count = 2;
+  while (changed) {
+    changed = false;
+    // Signature of a state: (its block, blocks of all successors).
+    std::map<std::vector<std::int32_t>, std::int32_t> signature_to_block;
+    std::vector<std::int32_t> new_block(static_cast<std::size_t>(n));
+    for (std::int32_t s = 0; s < n; ++s) {
+      std::vector<std::int32_t> sig;
+      sig.reserve(static_cast<std::size_t>(k) + 1);
+      sig.push_back(block[static_cast<std::size_t>(s)]);
+      for (std::int32_t sym = 0; sym < k; ++sym) {
+        const StateId t = dfa.next(s, sym);
+        sig.push_back(t == kDeadState ? -1 : block[static_cast<std::size_t>(t)]);
+      }
+      auto [it, inserted] = signature_to_block.emplace(
+          sig, static_cast<std::int32_t>(signature_to_block.size()));
+      new_block[static_cast<std::size_t>(s)] = it->second;
+    }
+    const auto new_count = static_cast<std::int32_t>(signature_to_block.size());
+    if (new_count != block_count) {
+      changed = true;
+      block_count = new_count;
+    }
+    block = std::move(new_block);
+  }
+
+  Dfa out;
+  out.alphabet = dfa.alphabet;
+  out.state_count = block_count;
+  out.accepting.resize(static_cast<std::size_t>(block_count), false);
+  out.transitions.resize(static_cast<std::size_t>(block_count) *
+                             static_cast<std::size_t>(k),
+                         kDeadState);
+  out.start = block[static_cast<std::size_t>(dfa.start)];
+  for (std::int32_t s = 0; s < n; ++s) {
+    const auto b = static_cast<std::size_t>(block[static_cast<std::size_t>(s)]);
+    if (dfa.accepting[static_cast<std::size_t>(s)]) out.accepting[b] = true;
+    for (std::int32_t sym = 0; sym < k; ++sym) {
+      const StateId t = dfa.next(s, sym);
+      out.transitions[b * static_cast<std::size_t>(k) +
+                      static_cast<std::size_t>(sym)] =
+          t == kDeadState ? kDeadState
+                          : block[static_cast<std::size_t>(t)];
+    }
+  }
+  return out;
+}
+
+Dfa compile(const std::string& expression) {
+  const NodePtr ast = parse(expression);
+  return minimize(determinize(build_nfa(*ast)));
+}
+
+bool equivalent_up_to(const Dfa& dfa, const Dfa& other, std::size_t max_len) {
+  if (dfa.alphabet != other.alphabet) return false;
+  const auto k = static_cast<std::int32_t>(dfa.alphabet.size());
+
+  // BFS over the product automaton up to depth max_len.
+  std::set<std::pair<StateId, StateId>> seen;
+  std::queue<std::pair<std::pair<StateId, StateId>, std::size_t>> work;
+  work.push({{dfa.start, other.start}, 0});
+  seen.insert({dfa.start, other.start});
+  while (!work.empty()) {
+    const auto [pair, depth] = work.front();
+    work.pop();
+    const auto [a, b] = pair;
+    const bool a_accepts = a != kDeadState &&
+                           dfa.accepting[static_cast<std::size_t>(a)];
+    const bool b_accepts = b != kDeadState &&
+                           other.accepting[static_cast<std::size_t>(b)];
+    if (a_accepts != b_accepts) return false;
+    if (depth >= max_len) continue;
+    for (std::int32_t sym = 0; sym < k; ++sym) {
+      const StateId na = a == kDeadState ? kDeadState : dfa.next(a, sym);
+      const StateId nb = b == kDeadState ? kDeadState : other.next(b, sym);
+      if (na == kDeadState && nb == kDeadState) continue;
+      if (seen.insert({na, nb}).second) work.push({{na, nb}, depth + 1});
+    }
+  }
+  return true;
+}
+
+}  // namespace robmon::pathexpr

@@ -1,0 +1,70 @@
+// Thompson NFA construction and subset-construction DFA (with partition-
+// refinement minimization) over path-expression ASTs.  The alphabet is the
+// set of procedure names appearing in the expression, mapped to dense
+// indices 0..k-1.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pathexpr/ast.hpp"
+
+namespace robmon::pathexpr {
+
+using StateId = std::int32_t;
+constexpr StateId kDeadState = -1;
+
+/// Nondeterministic finite automaton with epsilon transitions.
+struct Nfa {
+  struct Transition {
+    StateId from;
+    std::int32_t symbol;  ///< index into `alphabet`; -1 = epsilon.
+    StateId to;
+  };
+
+  std::vector<std::string> alphabet;
+  StateId start = 0;
+  StateId accept = 0;
+  std::int32_t state_count = 0;
+  std::vector<Transition> transitions;
+};
+
+/// Build a Thompson NFA for the expression.
+Nfa build_nfa(const Node& expr);
+
+/// Deterministic finite automaton; transition table is dense
+/// (state_count x alphabet.size()), kDeadState marks missing transitions.
+struct Dfa {
+  std::vector<std::string> alphabet;
+  StateId start = 0;
+  std::int32_t state_count = 0;
+  std::vector<bool> accepting;            ///< indexed by state.
+  std::vector<StateId> transitions;       ///< row-major [state][symbol].
+
+  StateId next(StateId state, std::int32_t symbol) const {
+    return transitions[static_cast<std::size_t>(state) * alphabet.size() +
+                       static_cast<std::size_t>(symbol)];
+  }
+
+  std::int32_t symbol_index(const std::string& name) const;
+
+  /// True if some word is reachable from `state` (i.e. the state is live).
+  bool live(StateId state) const { return state != kDeadState; }
+};
+
+/// Subset construction.
+Dfa determinize(const Nfa& nfa);
+
+/// Hopcroft-style partition refinement; returns an equivalent minimal DFA.
+Dfa minimize(const Dfa& dfa);
+
+/// Convenience: parse + NFA + DFA + minimize.
+Dfa compile(const std::string& expression);
+
+/// True iff `dfa` accepts exactly the same words as `other` up to length
+/// `max_len` over the shared alphabet (test helper; alphabets must match).
+bool equivalent_up_to(const Dfa& dfa, const Dfa& other, std::size_t max_len);
+
+}  // namespace robmon::pathexpr

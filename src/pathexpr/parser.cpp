@@ -1,0 +1,191 @@
+#include "pathexpr/parser.hpp"
+
+#include <cctype>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace robmon::pathexpr {
+
+namespace {
+
+enum class TokenKind {
+  kIdent,
+  kSemicolon,
+  kComma,
+  kLParen,
+  kRParen,
+  kStar,
+  kPlus,
+  kQuestion,
+  kPathKeyword,
+  kEndKeyword,
+  kEof,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  std::size_t offset;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Token next() {
+    skip_whitespace();
+    const std::size_t start = pos_;
+    if (pos_ >= text_.size()) return {TokenKind::kEof, "", start};
+    const char c = text_[pos_];
+    switch (c) {
+      case ';':
+        ++pos_;
+        return {TokenKind::kSemicolon, ";", start};
+      case ',':
+        ++pos_;
+        return {TokenKind::kComma, ",", start};
+      case '(':
+        ++pos_;
+        return {TokenKind::kLParen, "(", start};
+      case ')':
+        ++pos_;
+        return {TokenKind::kRParen, ")", start};
+      case '*':
+        ++pos_;
+        return {TokenKind::kStar, "*", start};
+      case '+':
+        ++pos_;
+        return {TokenKind::kPlus, "+", start};
+      case '?':
+        ++pos_;
+        return {TokenKind::kQuestion, "?", start};
+      default:
+        break;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t end = pos_;
+      while (end < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[end])) ||
+              text_[end] == '_')) {
+        ++end;
+      }
+      std::string word(text_.substr(pos_, end - pos_));
+      pos_ = end;
+      if (word == "path") return {TokenKind::kPathKeyword, word, start};
+      if (word == "end") return {TokenKind::kEndKeyword, word, start};
+      return {TokenKind::kIdent, word, start};
+    }
+    throw ParseError(start, std::string("unexpected character '") + c + "'");
+  }
+
+ private:
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : lexer_(text) { advance(); }
+
+  NodePtr parse_spec() {
+    bool bracketed = false;
+    if (current_.kind == TokenKind::kPathKeyword) {
+      bracketed = true;
+      advance();
+    }
+    NodePtr expr = parse_alt();
+    if (bracketed) {
+      expect(TokenKind::kEndKeyword, "'end'");
+      advance();
+    }
+    expect(TokenKind::kEof, "end of input");
+    return expr;
+  }
+
+ private:
+  NodePtr parse_alt() {
+    std::vector<NodePtr> branches;
+    branches.push_back(parse_seq());
+    while (current_.kind == TokenKind::kComma) {
+      advance();
+      branches.push_back(parse_seq());
+    }
+    if (branches.size() == 1) return std::move(branches.front());
+    return Node::make_alt(std::move(branches));
+  }
+
+  NodePtr parse_seq() {
+    std::vector<NodePtr> parts;
+    parts.push_back(parse_postfix());
+    while (current_.kind == TokenKind::kSemicolon) {
+      advance();
+      parts.push_back(parse_postfix());
+    }
+    if (parts.size() == 1) return std::move(parts.front());
+    return Node::make_seq(std::move(parts));
+  }
+
+  NodePtr parse_postfix() {
+    NodePtr node = parse_primary();
+    for (;;) {
+      if (current_.kind == TokenKind::kStar) {
+        node = Node::make_star(std::move(node));
+        advance();
+      } else if (current_.kind == TokenKind::kPlus) {
+        node = Node::make_plus(std::move(node));
+        advance();
+      } else if (current_.kind == TokenKind::kQuestion) {
+        node = Node::make_opt(std::move(node));
+        advance();
+      } else {
+        return node;
+      }
+    }
+  }
+
+  NodePtr parse_primary() {
+    if (current_.kind == TokenKind::kIdent) {
+      NodePtr node = Node::make_name(current_.text);
+      advance();
+      return node;
+    }
+    if (current_.kind == TokenKind::kLParen) {
+      advance();
+      NodePtr inner = parse_alt();
+      expect(TokenKind::kRParen, "')'");
+      advance();
+      return inner;
+    }
+    throw ParseError(current_.offset,
+                     "expected procedure name or '(', got '" + current_.text +
+                         "'");
+  }
+
+  void expect(TokenKind kind, const std::string& what) {
+    if (current_.kind != kind) {
+      throw ParseError(current_.offset, "expected " + what + ", got '" +
+                                            (current_.text.empty()
+                                                 ? std::string("<eof>")
+                                                 : current_.text) +
+                                            "'");
+    }
+  }
+
+  void advance() { current_ = lexer_.next(); }
+
+  Lexer lexer_;
+  Token current_{TokenKind::kEof, "", 0};
+};
+
+}  // namespace
+
+NodePtr parse(std::string_view text) { return Parser(text).parse_spec(); }
+
+}  // namespace robmon::pathexpr

@@ -1,0 +1,31 @@
+// Lexer + recursive-descent parser for path expressions.  See ast.hpp for
+// the grammar.  Errors carry a character offset and human-readable message.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "pathexpr/ast.hpp"
+
+namespace robmon::pathexpr {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::size_t offset, const std::string& message)
+      : std::runtime_error("path expression at offset " +
+                           std::to_string(offset) + ": " + message),
+        offset_(offset) {}
+
+  std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+/// Parse a path-expression specification.  Accepts both the bare expression
+/// form ("(Acquire ; Release)*") and the bracketed form
+/// ("path (Acquire ; Release)* end").  Throws ParseError on bad input.
+NodePtr parse(std::string_view text);
+
+}  // namespace robmon::pathexpr

@@ -1,0 +1,85 @@
+#include "runtime/checker.hpp"
+
+#include <chrono>
+#include <optional>
+
+namespace robmon::rt {
+
+PeriodicChecker::PeriodicChecker(HoareMonitor& monitor,
+                                 core::Detector& detector,
+                                 const util::Clock& clock)
+    : PeriodicChecker(monitor, detector, clock, Options{}) {}
+
+PeriodicChecker::PeriodicChecker(HoareMonitor& monitor,
+                                 core::Detector& detector,
+                                 const util::Clock& clock, Options options)
+    : monitor_(&monitor),
+      detector_(&detector),
+      clock_(&clock),
+      options_(options) {}
+
+PeriodicChecker::~PeriodicChecker() { stop(); }
+
+void PeriodicChecker::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  running_ = true;
+  stop_requested_ = false;
+  thread_ = std::thread([this] { loop(); });
+}
+
+void PeriodicChecker::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    running_ = false;
+  }
+}
+
+core::Detector::CheckStats PeriodicChecker::check_now() {
+  std::lock_guard<std::mutex> serialize(check_mu_);
+  std::vector<trace::EventRecord> segment;
+  std::optional<trace::SchedulingState> state;
+  core::Detector::CheckStats stats;
+  if (options_.hold_gate_during_check) {
+    sync::CheckerGate::ExclusiveScope quiesce(monitor_->gate());
+    segment = monitor_->log().drain();
+    state = monitor_->snapshot();
+    stats = detector_->check(segment, *state, clock_->now_ns());
+  } else {
+    {
+      sync::CheckerGate::ExclusiveScope quiesce(monitor_->gate());
+      segment = monitor_->log().drain();
+      state = monitor_->snapshot();
+    }
+    stats = detector_->check(segment, *state, clock_->now_ns());
+  }
+  if (options_.on_checkpoint) options_.on_checkpoint(*state);
+  return stats;
+}
+
+std::uint64_t PeriodicChecker::checks_run() const {
+  return detector_->checks_run();
+}
+
+void PeriodicChecker::loop() {
+  const auto period =
+      std::chrono::nanoseconds(detector_->spec().check_period);
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (cv_.wait_for(lock, period, [this] { return stop_requested_; })) {
+      return;
+    }
+    lock.unlock();
+    check_now();
+    lock.lock();
+  }
+}
+
+}  // namespace robmon::rt

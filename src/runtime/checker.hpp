@@ -1,0 +1,73 @@
+// The periodic fault-detection routine of Fig. 1 as a background thread.
+//
+// Every check_period it quiesces the monitor through the checker gate (the
+// paper's "all other running processes are suspended"), drains the event
+// segment, snapshots the scheduling state, and runs the Detector.  With
+// hold_gate_during_check=false the gate is released right after the
+// snapshot and the algorithms run concurrently with monitor traffic — an
+// ablation of the paper's suspension design measured by
+// bench/ablation_interval.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "core/detector.hpp"
+#include "runtime/hoare_monitor.hpp"
+
+namespace robmon::rt {
+
+class PeriodicChecker {
+ public:
+  struct Options {
+    /// Keep monitor traffic suspended while the algorithms run (paper
+    /// behaviour).  false = release after snapshot.
+    bool hold_gate_during_check = true;
+    /// Invoked with every checkpoint state (used to build replayable
+    /// traces; see RobustMonitor::export_trace).
+    std::function<void(const trace::SchedulingState&)> on_checkpoint;
+  };
+
+  PeriodicChecker(HoareMonitor& monitor, core::Detector& detector,
+                  const util::Clock& clock);
+  PeriodicChecker(HoareMonitor& monitor, core::Detector& detector,
+                  const util::Clock& clock, Options options);
+  ~PeriodicChecker();
+
+  PeriodicChecker(const PeriodicChecker&) = delete;
+  PeriodicChecker& operator=(const PeriodicChecker&) = delete;
+
+  /// Start the background thread (no-op if already running).  The detector
+  /// must already be initialize()d.
+  void start();
+
+  /// Stop and join the background thread (no-op if not running).
+  void stop();
+
+  /// Run one checking-routine invocation synchronously on the caller's
+  /// thread (usable without start(); also used for final checks in tests).
+  core::Detector::CheckStats check_now();
+
+  std::uint64_t checks_run() const;
+
+ private:
+  void loop();
+
+  HoareMonitor* monitor_;
+  core::Detector* detector_;
+  const util::Clock* clock_;
+  Options options_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool running_ = false;
+  bool stop_requested_ = false;
+  std::thread thread_;
+  /// Serializes check_now() against the background loop.
+  std::mutex check_mu_;
+};
+
+}  // namespace robmon::rt

@@ -1,0 +1,175 @@
+// Real-thread Hoare monitor with combined Signal-Exit, built from the
+// sync substrate (spinlock + per-waiter binary semaphores), with explicit
+// entry / condition queues, data-gathering instrumentation (Fig. 1),
+// fault-injection hooks, and a checker gate implementing the paper's
+// "suspend all processes while checking".
+//
+// Blocking protocol: a process that must block allocates a Waiter on its own
+// stack, enqueues it under the internal lock, releases the lock (and the
+// checker gate), then parks on the Waiter's semaphore.  The process that
+// wakes it transfers monitor ownership *before* releasing the semaphore
+// (Hoare hand-off), so there is never a moment when the monitor is free but
+// claimed.  poison() releases every parked waiter with kPoisoned so that
+// fault-injection tests can unwind cleanly.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/monitor_spec.hpp"
+#include "inject/injection.hpp"
+#include "sync/gate.hpp"
+#include "sync/semaphore.hpp"
+#include "sync/spinlock.hpp"
+#include "trace/event.hpp"
+#include "trace/event_log.hpp"
+#include "trace/snapshot.hpp"
+#include "util/clock.hpp"
+
+namespace robmon::rt {
+
+/// Result of a potentially blocking primitive.
+enum class Status {
+  kOk,        ///< Completed normally.
+  kPoisoned,  ///< Monitor poisoned while blocked (teardown).
+};
+
+/// What the augmented construct adds on top of the bare monitor; kOff gives
+/// the paper's "monitor operations without the extension" baseline.
+enum class Instrumentation {
+  kFull,  ///< Gathering + checker gate (detection-ready).
+  kOff,   ///< Bare monitor; no events, no gate.
+};
+
+/// Signalling discipline.  The paper's model is Hoare with combined
+/// Signal-Exit (ownership hands off to the resumed waiter).  The Mesa
+/// variant (signal-and-continue: the signalled waiter merely re-contends
+/// via the entry queue) exists as an *ablation*: the FD/ST rules encode the
+/// Hoare hand-off, so a perfectly correct Mesa execution is flagged —
+/// demonstrating that the detection model is semantics-specific
+/// (bench/ablation_semantics).
+enum class Semantics {
+  kHoareSignalExit,
+  kMesaSignalContinue,
+};
+
+class HoareMonitor {
+ public:
+  HoareMonitor(core::MonitorSpec spec, const util::Clock& clock,
+               inject::InjectionController& injection =
+                   inject::NullInjection::instance(),
+               Instrumentation instrumentation = Instrumentation::kFull,
+               Semantics semantics = Semantics::kHoareSignalExit);
+
+  HoareMonitor(const HoareMonitor&) = delete;
+  HoareMonitor& operator=(const HoareMonitor&) = delete;
+
+  // --- Primitives.  `pid` identifies the calling user process. -------------
+
+  Status enter(trace::Pid pid, const std::string& procedure);
+  Status wait(trace::Pid pid, const std::string& cond);
+  void signal_exit(trace::Pid pid, const std::string& cond);
+  /// Signal-exit that also adjusts the monitor-tracked resource count R#
+  /// *atomically with the event recording* (e.g. a completing Send passes
+  /// -1: one fewer free slot).  Requires track_resources().
+  void signal_exit(trace::Pid pid, const std::string& cond,
+                   std::int64_t resource_delta);
+  void exit(trace::Pid pid);
+
+  /// Pre-interned fast paths (benchmark hot loop).
+  Status enter(trace::Pid pid, trace::SymbolId procedure);
+  Status wait(trace::Pid pid, trace::SymbolId cond);
+  void signal_exit(trace::Pid pid, trace::SymbolId cond);
+  void signal_exit(trace::Pid pid, trace::SymbolId cond,
+                   std::int64_t resource_delta);
+
+  /// Enable internal R# accounting (coordinator monitors).  The paper's
+  /// scheduling state owns R#; updating it inside the primitive keeps the
+  /// recorded events and the snapshots consistent, which an external gauge
+  /// sampled at snapshot time cannot guarantee under real threads.
+  void track_resources(std::int64_t initial);
+  std::int64_t resources() const;
+
+  // --- Observation / control. ----------------------------------------------
+
+  trace::SchedulingState snapshot() const;
+  trace::EventLog& log() { return log_; }
+  const trace::EventLog& log() const { return log_; }
+  trace::SymbolTable& symbols() { return symbols_; }
+  const trace::SymbolTable& symbols() const { return symbols_; }
+  const core::MonitorSpec& spec() const { return spec_; }
+  sync::CheckerGate& gate() { return gate_; }
+  Instrumentation instrumentation() const { return instrumentation_; }
+  Semantics semantics() const { return semantics_; }
+
+  /// R# source for coordinator monitors (e.g. free buffer slots).
+  void set_resource_gauge(std::function<std::int64_t()> gauge);
+
+  /// Release every parked waiter with kPoisoned (teardown after injected
+  /// faults left threads blocked).
+  void poison();
+  bool poisoned() const;
+
+ private:
+  struct Waiter {
+    trace::Pid pid;
+    trace::SymbolId proc;
+    util::TimeNs since;
+    sync::BinarySemaphore sem;
+  };
+
+  /// Entry-queue slot.  Value type so that an injected notify-too-many bug
+  /// can leave a *zombie* slot behind (waiter resumed, entry leaked) with
+  /// no dangling pointer once the resumed thread's stack frame unwinds.
+  struct EqEntry {
+    trace::Pid pid;
+    trace::SymbolId proc;
+    util::TimeNs since;
+    Waiter* waiter = nullptr;  ///< Null once resumed (zombie).
+    bool zombie = false;
+  };
+
+  util::TimeNs now() const { return clock_->now_ns(); }
+  trace::SymbolId proc_of(trace::Pid pid) const;  // callers hold mu_
+  void record(const trace::EventRecord& event);
+  /// Pop the first admittable entry waiter; nullptr when none.  mu_ held.
+  Waiter* pop_admittable();
+  /// Injected notify-too-many: resume the first admittable entry waiter
+  /// but leave its (zombie) slot on the queue.  mu_ held.
+  Waiter* resume_ghost_from_entry_queue();
+  /// Admit the entry-queue head as owner (+ optional ghost).  mu_ held;
+  /// the returned waiters' semaphores must be released after unlocking.
+  void admit_from_entry_queue(bool extra, Waiter** admitted, Waiter** ghost);
+  void signal_exit_impl(trace::Pid pid, trace::SymbolId cond,
+                        std::int64_t resource_delta);
+
+  core::MonitorSpec spec_;
+  const util::Clock* clock_;
+  inject::InjectionController* injection_;
+  Instrumentation instrumentation_;
+  Semantics semantics_;
+
+  trace::SymbolTable symbols_;
+  trace::EventLog log_;
+  sync::CheckerGate gate_;
+
+  mutable sync::SpinLock mu_;
+  std::optional<trace::Pid> owner_;
+  trace::SymbolId owner_proc_ = trace::kNoSymbol;
+  util::TimeNs owner_since_ = 0;
+  std::deque<EqEntry> entry_queue_;
+  std::map<trace::SymbolId, std::deque<Waiter*>> cond_queues_;
+  std::map<trace::Pid, trace::SymbolId> inside_proc_;
+  std::vector<Waiter*> lost_waiters_;  ///< Parked forever by injection.
+  std::function<std::int64_t()> resource_gauge_;
+  bool track_resources_ = false;
+  std::int64_t resources_ = -1;
+  bool poisoned_ = false;
+};
+
+}  // namespace robmon::rt

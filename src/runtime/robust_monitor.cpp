@@ -1,0 +1,116 @@
+#include "runtime/robust_monitor.hpp"
+
+namespace robmon::rt {
+
+namespace {
+
+PeriodicChecker::Options make_checker_options(
+    const RobustMonitor::Options& options,
+    std::function<void(const trace::SchedulingState&)> on_checkpoint) {
+  PeriodicChecker::Options checker_options;
+  checker_options.hold_gate_during_check = options.hold_gate_during_check;
+  if (options.retain_trace) {
+    checker_options.on_checkpoint = std::move(on_checkpoint);
+  }
+  return checker_options;
+}
+
+}  // namespace
+
+RobustMonitor::RobustMonitor(core::MonitorSpec spec, core::ReportSink& sink)
+    : RobustMonitor(std::move(spec), sink, Options{}) {}
+
+RobustMonitor::RobustMonitor(core::MonitorSpec spec, core::ReportSink& sink,
+                             Options options)
+    : sink_(&sink),
+      options_(options),
+      monitor_(std::move(spec), *options.clock, *options.injection,
+               options.instrumentation, options.semantics),
+      detector_(monitor_.spec(), monitor_.symbols(), sink),
+      checker_(monitor_, detector_, *options.clock,
+               make_checker_options(options,
+                                    [this](const trace::SchedulingState& s) {
+                                      std::lock_guard<std::mutex> lock(
+                                          checkpoints_mu_);
+                                      checkpoints_.push_back(s);
+                                    })) {
+  if (options_.retain_trace) monitor_.log().set_retention(true);
+  const std::string expression = monitor_.spec().effective_path_expression();
+  if (!expression.empty()) order_spec_.emplace(expression);
+
+  const trace::SchedulingState initial = monitor_.snapshot();
+  detector_.initialize(initial);
+  if (options_.retain_trace) {
+    std::lock_guard<std::mutex> lock(checkpoints_mu_);
+    checkpoints_.push_back(initial);
+  }
+}
+
+RobustMonitor::~RobustMonitor() { checker_.stop(); }
+
+void RobustMonitor::advance_order_matcher(trace::Pid pid,
+                                          const std::string& procedure) {
+  if (!order_spec_) return;
+  pathexpr::MatchResult result;
+  {
+    std::lock_guard<std::mutex> lock(matchers_mu_);
+    auto [it, inserted] = matchers_.try_emplace(pid, order_spec_->matcher());
+    result = it->second.advance(procedure);
+    if (result == pathexpr::MatchResult::kViolation) it->second.reset();
+  }
+  if (result != pathexpr::MatchResult::kViolation) return;
+
+  core::FaultReport report;
+  report.rule = core::RuleId::kRealTimeOrder;
+  report.pid = pid;
+  report.proc = monitor_.symbols().find(procedure);
+  report.detected_at = options_.clock->now_ns();
+  if (procedure == spec().release_procedure) {
+    report.suspected = core::FaultKind::kReleaseBeforeAcquire;
+  } else if (procedure == spec().acquire_procedure) {
+    report.suspected = core::FaultKind::kDoubleAcquireDeadlock;
+  }
+  report.message = "call to '" + procedure +
+                   "' violates the declared order " +
+                   order_spec_->expression();
+  sink_->report(report);
+}
+
+Status RobustMonitor::enter(trace::Pid pid, const std::string& procedure) {
+  // Real-time phase: check the declared partial order before admission
+  // (Section 3.3: "real-time checking of calling orders").
+  advance_order_matcher(pid, procedure);
+  return monitor_.enter(pid, procedure);
+}
+
+Status RobustMonitor::wait(trace::Pid pid, const std::string& cond) {
+  return monitor_.wait(pid, cond);
+}
+
+void RobustMonitor::signal_exit(trace::Pid pid, const std::string& cond) {
+  monitor_.signal_exit(pid, cond);
+}
+
+void RobustMonitor::signal_exit(trace::Pid pid, const std::string& cond,
+                                std::int64_t resource_delta) {
+  monitor_.signal_exit(pid, cond, resource_delta);
+}
+
+void RobustMonitor::exit(trace::Pid pid) { monitor_.exit(pid); }
+
+void RobustMonitor::start_checking() { checker_.start(); }
+
+void RobustMonitor::stop_checking() { checker_.stop(); }
+
+core::Detector::CheckStats RobustMonitor::check_now() {
+  return checker_.check_now();
+}
+
+trace::TraceFile RobustMonitor::export_trace() const {
+  std::lock_guard<std::mutex> lock(checkpoints_mu_);
+  return trace::make_trace_file(
+      spec().name, std::string(core::to_string(spec().type)), spec().rmax,
+      monitor_.symbols(), monitor_.log().history(), checkpoints_);
+}
+
+}  // namespace robmon::rt

@@ -1,0 +1,120 @@
+// RobustMonitor — the augmented monitor construct (Section 4): the public
+// API of the library.  Bundles
+//   * the monitor itself (HoareMonitor: Enter / Wait / Signal-Exit),
+//   * the data-gathering routines (event log + state snapshots),
+//   * the fault-detection routine (Detector + PeriodicChecker thread),
+//   * the real-time calling-order phase (compiled path expression,
+//     advanced at every Enter of a constrained procedure),
+// and reports every detected concurrency-control fault to the caller's
+// ReportSink.
+//
+// Typical use:
+//   core::CollectingSink sink;
+//   rt::RobustMonitor monitor(core::MonitorSpec::coordinator("buf", 8), sink);
+//   monitor.start_checking();
+//   ... threads call monitor.enter(pid, "Send") / wait / signal_exit ...
+//   monitor.stop_checking();
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "core/fault.hpp"
+#include "core/monitor_spec.hpp"
+#include "pathexpr/matcher.hpp"
+#include "runtime/checker.hpp"
+#include "runtime/hoare_monitor.hpp"
+#include "trace/codec.hpp"
+
+namespace robmon::rt {
+
+class RobustMonitor {
+ public:
+  struct Options {
+    const util::Clock* clock = &util::SteadyClock::instance();
+    inject::InjectionController* injection =
+        &inject::NullInjection::instance();
+    Instrumentation instrumentation = Instrumentation::kFull;
+    /// Signalling discipline; Mesa exists for bench/ablation_semantics.
+    Semantics semantics = Semantics::kHoareSignalExit;
+    /// Keep monitor traffic suspended for the whole check (paper mode).
+    bool hold_gate_during_check = true;
+    /// Retain the full event history and checkpoint states so that
+    /// export_trace() can produce a replayable trace.
+    bool retain_trace = false;
+  };
+
+  RobustMonitor(core::MonitorSpec spec, core::ReportSink& sink);
+  RobustMonitor(core::MonitorSpec spec, core::ReportSink& sink,
+                Options options);
+  ~RobustMonitor();
+
+  RobustMonitor(const RobustMonitor&) = delete;
+  RobustMonitor& operator=(const RobustMonitor&) = delete;
+
+  // --- Monitor primitives. --------------------------------------------------
+
+  Status enter(trace::Pid pid, const std::string& procedure);
+  Status wait(trace::Pid pid, const std::string& cond);
+  void signal_exit(trace::Pid pid, const std::string& cond);
+  /// Signal-exit adjusting the monitor-tracked R# atomically with the event
+  /// (see HoareMonitor::track_resources).
+  void signal_exit(trace::Pid pid, const std::string& cond,
+                   std::int64_t resource_delta);
+  void exit(trace::Pid pid);
+
+  /// Enable monitor-owned R# accounting (coordinator monitors).
+  void track_resources(std::int64_t initial) {
+    monitor_.track_resources(initial);
+  }
+
+  // --- Detection control. ---------------------------------------------------
+
+  /// Start the periodic checking thread (spec.check_period cadence).
+  void start_checking();
+  void stop_checking();
+  /// One synchronous checking-routine invocation.
+  core::Detector::CheckStats check_now();
+
+  // --- Observation / management. --------------------------------------------
+
+  const core::MonitorSpec& spec() const { return monitor_.spec(); }
+  trace::SchedulingState snapshot() const { return monitor_.snapshot(); }
+  void set_resource_gauge(std::function<std::int64_t()> gauge) {
+    monitor_.set_resource_gauge(std::move(gauge));
+  }
+  /// Release all blocked processes with kPoisoned (teardown).
+  void poison() { monitor_.poison(); }
+
+  HoareMonitor& monitor() { return monitor_; }
+  core::Detector& detector() { return detector_; }
+  trace::SymbolTable& symbols() { return monitor_.symbols(); }
+
+  /// Replayable trace of everything recorded so far (requires
+  /// Options::retain_trace).
+  trace::TraceFile export_trace() const;
+
+ private:
+  void advance_order_matcher(trace::Pid pid, const std::string& procedure);
+
+  core::ReportSink* sink_;
+  Options options_;
+  HoareMonitor monitor_;
+  core::Detector detector_;
+  PeriodicChecker checker_;
+
+  /// Real-time phase state (allocator monitors / any declared order).
+  std::optional<pathexpr::CallOrderSpec> order_spec_;
+  std::mutex matchers_mu_;
+  std::map<trace::Pid, pathexpr::Matcher> matchers_;
+
+  mutable std::mutex checkpoints_mu_;
+  std::vector<trace::SchedulingState> checkpoints_;
+};
+
+}  // namespace robmon::rt

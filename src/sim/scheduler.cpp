@@ -1,0 +1,173 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace robmon::sim {
+
+void Process::promise_type::FinalAwaiter::await_suspend(
+    std::coroutine_handle<promise_type> h) noexcept {
+  auto& promise = h.promise();
+  if (promise.scheduler != nullptr) {
+    promise.scheduler->on_process_done(promise.pid,
+                                       std::move(promise.exception));
+  }
+}
+
+Scheduler::Scheduler(Options options)
+    : options_(options), rng_(options.seed) {}
+
+Scheduler::~Scheduler() {
+  for (auto& [pid, state] : processes_) {
+    if (state.handle) state.handle.destroy();
+  }
+}
+
+void Scheduler::spawn(trace::Pid pid, Process process) {
+  if (pid == trace::kNoPid) {
+    throw std::invalid_argument(
+        "pid -1 is reserved (kNoPid); use another id for harness tasks");
+  }
+  if (processes_.count(pid) != 0) {
+    throw std::invalid_argument("duplicate pid " + std::to_string(pid));
+  }
+  Process::Handle handle = process.release();
+  handle.promise().scheduler = this;
+  handle.promise().pid = pid;
+  ProcState state;
+  state.handle = handle;
+  state.resume_point = handle;
+  state.status = Status::kRunnable;
+  processes_.emplace(pid, state);
+  runnable_.push_back(pid);
+}
+
+Scheduler::StopReason Scheduler::run(std::uint64_t max_steps) {
+  for (std::uint64_t step = 0; step < max_steps; ++step) {
+    if (runnable_.empty()) {
+      const util::TimeNs next_wake = service_sleepers();
+      if (!runnable_.empty()) continue;
+      if (next_wake >= 0) {
+        clock_.set(next_wake);
+        service_sleepers();
+        continue;
+      }
+      const bool all_done =
+          std::all_of(processes_.begin(), processes_.end(),
+                      [](const auto& kv) {
+                        return kv.second.status == Status::kDone;
+                      });
+      return all_done ? StopReason::kAllDone : StopReason::kQuiescent;
+    }
+
+    const trace::Pid pid = pick_next();
+    auto& state = processes_.at(pid);
+    clock_.advance(options_.tick_ns);
+    ++steps_;
+    current_ = pid;
+    state.resume_point.resume();
+    current_ = trace::kNoPid;
+  }
+  return StopReason::kMaxSteps;
+}
+
+trace::Pid Scheduler::pick_next() {
+  std::size_t index = 0;
+  if (options_.policy == SchedulePolicy::kRandom && runnable_.size() > 1) {
+    index = static_cast<std::size_t>(rng_.below(runnable_.size()));
+  }
+  const trace::Pid pid = runnable_[index];
+  runnable_.erase(runnable_.begin() + static_cast<std::ptrdiff_t>(index));
+  return pid;
+}
+
+util::TimeNs Scheduler::service_sleepers() {
+  util::TimeNs earliest = -1;
+  const util::TimeNs now = clock_.now_ns();
+  for (auto& [pid, state] : processes_) {
+    if (state.status != Status::kSleeping) continue;
+    if (state.wake_at <= now) {
+      state.status = Status::kRunnable;
+      runnable_.push_back(pid);
+    } else if (earliest < 0 || state.wake_at < earliest) {
+      earliest = state.wake_at;
+    }
+  }
+  return earliest;
+}
+
+Scheduler::ProcState& Scheduler::current_state() {
+  if (current_ == trace::kNoPid) {
+    throw std::logic_error("awaitable used outside a scheduled process");
+  }
+  return processes_.at(current_);
+}
+
+void Scheduler::YieldAwaiter::await_suspend(std::coroutine_handle<> h) {
+  auto& state = scheduler->current_state();
+  state.resume_point = h;
+  state.status = Status::kRunnable;
+  scheduler->runnable_.push_back(scheduler->current_);
+}
+
+void Scheduler::DelayAwaiter::await_suspend(std::coroutine_handle<> h) {
+  auto& state = scheduler->current_state();
+  state.resume_point = h;
+  state.status = Status::kSleeping;
+  state.wake_at = scheduler->clock_.now_ns() + delta;
+}
+
+void Scheduler::ParkAwaiter::await_suspend(std::coroutine_handle<> h) {
+  auto& state = scheduler->current_state();
+  state.resume_point = h;
+  state.status = Status::kParked;
+}
+
+void Scheduler::unpark(trace::Pid pid) {
+  auto it = processes_.find(pid);
+  if (it == processes_.end()) {
+    throw std::invalid_argument("unpark of unknown pid " +
+                                std::to_string(pid));
+  }
+  if (it->second.status != Status::kParked) {
+    throw std::logic_error("unpark of non-parked pid " + std::to_string(pid));
+  }
+  it->second.status = Status::kRunnable;
+  runnable_.push_back(pid);
+}
+
+void Scheduler::on_process_done(trace::Pid pid,
+                                std::exception_ptr exception) {
+  auto& state = processes_.at(pid);
+  state.status = Status::kDone;
+  state.exception = std::move(exception);
+}
+
+bool Scheduler::is_parked(trace::Pid pid) const {
+  const auto it = processes_.find(pid);
+  return it != processes_.end() && it->second.status == Status::kParked;
+}
+
+std::vector<trace::Pid> Scheduler::parked_pids() const {
+  std::vector<trace::Pid> out;
+  for (const auto& [pid, state] : processes_) {
+    if (state.status == Status::kParked) out.push_back(pid);
+  }
+  return out;
+}
+
+std::size_t Scheduler::live_count() const {
+  std::size_t n = 0;
+  for (const auto& [pid, state] : processes_) {
+    if (state.status != Status::kDone) ++n;
+  }
+  return n;
+}
+
+void Scheduler::rethrow_any_failure() const {
+  for (const auto& [pid, state] : processes_) {
+    if (state.exception) std::rethrow_exception(state.exception);
+  }
+}
+
+}  // namespace robmon::sim

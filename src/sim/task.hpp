@@ -1,0 +1,149 @@
+// Coroutine types for the deterministic simulator.
+//
+//   Process — a top-level simulated process, owned and resumed by the
+//             Scheduler.  Spawned with Scheduler::spawn.
+//   Op<T>   — an awaitable sub-operation (e.g. SimMonitor::enter), usable
+//             from inside a Process or another Op via co_await.  Uses
+//             symmetric transfer so that blocking deep inside nested ops
+//             returns control to the scheduler loop, and resumption
+//             continues exactly where the process suspended.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "trace/event.hpp"
+
+namespace robmon::sim {
+
+class Scheduler;
+
+class Process {
+ public:
+  struct promise_type {
+    Scheduler* scheduler = nullptr;
+    trace::Pid pid = trace::kNoPid;
+    std::exception_ptr exception;
+
+    Process get_return_object() {
+      return Process{
+          std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      void await_suspend(std::coroutine_handle<promise_type> h) noexcept;
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() {}
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Process() = default;
+  explicit Process(Handle handle) : handle_(handle) {}
+  Process(Process&& other) noexcept
+      : handle_(std::exchange(other.handle_, nullptr)) {}
+  Process& operator=(Process&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+  ~Process() { destroy(); }
+
+  Handle handle() const { return handle_; }
+  /// Transfer ownership of the handle (used by Scheduler::spawn).
+  Handle release() { return std::exchange(handle_, nullptr); }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+  Handle handle_ = nullptr;
+};
+
+namespace detail {
+
+template <typename T>
+struct OpPromiseBase {
+  std::coroutine_handle<> continuation = std::noop_coroutine();
+  std::optional<T> value;
+  std::exception_ptr exception;
+  void return_value(T v) { value = std::move(v); }
+};
+
+template <>
+struct OpPromiseBase<void> {
+  std::coroutine_handle<> continuation = std::noop_coroutine();
+  std::exception_ptr exception;
+  void return_void() {}
+};
+
+}  // namespace detail
+
+template <typename T = void>
+class [[nodiscard]] Op {
+ public:
+  struct promise_type : detail::OpPromiseBase<T> {
+    Op get_return_object() {
+      return Op{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> h) noexcept {
+        return h.promise().continuation;
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void unhandled_exception() {
+      this->exception = std::current_exception();
+    }
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  explicit Op(Handle handle) : handle_(handle) {}
+  Op(Op&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Op(const Op&) = delete;
+  Op& operator=(const Op&) = delete;
+  Op& operator=(Op&&) = delete;
+  ~Op() {
+    if (handle_) handle_.destroy();
+  }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) {
+    handle_.promise().continuation = cont;
+    return handle_;  // symmetric transfer into the operation
+  }
+  T await_resume() {
+    auto& promise = handle_.promise();
+    if (promise.exception) std::rethrow_exception(promise.exception);
+    if constexpr (!std::is_void_v<T>) {
+      return std::move(*promise.value);
+    }
+  }
+
+ private:
+  Handle handle_ = nullptr;
+};
+
+}  // namespace robmon::sim

@@ -1,0 +1,33 @@
+#include "sync/gate.hpp"
+
+namespace robmon::sync {
+
+void CheckerGate::enter_shared() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return !exclusive_held_ && writers_waiting_ == 0; });
+  ++shared_holders_;
+}
+
+void CheckerGate::exit_shared() {
+  std::lock_guard<std::mutex> lock(mu_);
+  --shared_holders_;
+  if (shared_holders_ == 0) cv_.notify_all();
+}
+
+void CheckerGate::enter_exclusive() {
+  std::unique_lock<std::mutex> lock(mu_);
+  ++writers_waiting_;
+  cv_.wait(lock, [&] { return !exclusive_held_ && shared_holders_ == 0; });
+  --writers_waiting_;
+  exclusive_held_ = true;
+}
+
+void CheckerGate::exit_exclusive() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    exclusive_held_ = false;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace robmon::sync

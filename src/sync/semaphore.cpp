@@ -1,0 +1,63 @@
+#include "sync/semaphore.hpp"
+
+#include <chrono>
+
+namespace robmon::sync {
+
+AcquireResult Semaphore::acquire() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return count_ > 0 || poisoned_; });
+  if (poisoned_) return AcquireResult::kPoisoned;
+  --count_;
+  return AcquireResult::kAcquired;
+}
+
+AcquireResult Semaphore::timed_acquire(std::int64_t timeout_ns) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const bool ready =
+      cv_.wait_for(lock, std::chrono::nanoseconds(timeout_ns),
+                   [&] { return count_ > 0 || poisoned_; });
+  if (!ready) return AcquireResult::kTimeout;
+  if (poisoned_) return AcquireResult::kPoisoned;
+  --count_;
+  return AcquireResult::kAcquired;
+}
+
+bool Semaphore::try_acquire() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (poisoned_ || count_ <= 0) return false;
+  --count_;
+  return true;
+}
+
+void Semaphore::release(std::int64_t permits) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    count_ += permits;
+  }
+  if (permits == 1) {
+    cv_.notify_one();
+  } else {
+    cv_.notify_all();
+  }
+}
+
+void Semaphore::poison() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    poisoned_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool Semaphore::poisoned() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return poisoned_;
+}
+
+std::int64_t Semaphore::available() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+}  // namespace robmon::sync

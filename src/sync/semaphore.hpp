@@ -1,0 +1,75 @@
+// Counting / binary semaphores built on mutex + condition_variable.
+// These are the lower-level primitives the Hoare monitor implementation is
+// assembled from, mirroring the classic semaphore-based monitor construction
+// (Hoare 1974).  We implement them ourselves (rather than using
+// std::counting_semaphore) so that waiters can be *poisoned*: after a fault
+// has been injected and detected, test harnesses must be able to release
+// every parked thread and unwind cleanly.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace robmon::sync {
+
+/// Result of a blocking acquire.
+enum class AcquireResult {
+  kAcquired,  ///< Normal acquisition.
+  kPoisoned,  ///< Semaphore was poisoned while (or before) waiting.
+  kTimeout,   ///< timed_acquire() deadline elapsed.
+};
+
+class Semaphore {
+ public:
+  explicit Semaphore(std::int64_t initial = 0) : count_(initial) {}
+
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  /// Block until a permit is available or the semaphore is poisoned.
+  AcquireResult acquire();
+
+  /// Block up to `timeout_ns`; kTimeout if no permit arrived in time.
+  AcquireResult timed_acquire(std::int64_t timeout_ns);
+
+  /// Non-blocking attempt.
+  bool try_acquire();
+
+  /// Release `permits` permits, waking blocked acquirers.
+  void release(std::int64_t permits = 1);
+
+  /// Wake all current and future waiters with kPoisoned.
+  void poison();
+
+  bool poisoned() const;
+
+  /// Current permit count (diagnostic only; racy by nature).
+  std::int64_t available() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::int64_t count_;
+  bool poisoned_ = false;
+};
+
+/// Binary semaphore used for ownership hand-off between monitor processes:
+/// one permit maximum, starts empty.
+class BinarySemaphore {
+ public:
+  BinarySemaphore() : sem_(0) {}
+
+  AcquireResult acquire() { return sem_.acquire(); }
+  AcquireResult timed_acquire(std::int64_t timeout_ns) {
+    return sem_.timed_acquire(timeout_ns);
+  }
+  void release() { sem_.release(1); }
+  void poison() { sem_.poison(); }
+  bool poisoned() const { return sem_.poisoned(); }
+
+ private:
+  Semaphore sem_;
+};
+
+}  // namespace robmon::sync

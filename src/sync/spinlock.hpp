@@ -1,0 +1,41 @@
+// Test-and-test-and-set spinlock with exponential backoff.  Protects the
+// monitor's internal queue structures, whose critical sections are a few
+// dozen instructions; a full mutex would dominate the cost being measured
+// by the Table-1 overhead benchmark.
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+namespace robmon::sync {
+
+class SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void lock() {
+    int spins = 0;
+    for (;;) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      // Spin on a relaxed load to avoid cache-line ping-pong.
+      while (flag_.load(std::memory_order_relaxed)) {
+        if (++spins >= kYieldThreshold) {
+          std::this_thread::yield();
+          spins = 0;
+        }
+      }
+    }
+  }
+
+  bool try_lock() { return !flag_.exchange(true, std::memory_order_acquire); }
+
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  static constexpr int kYieldThreshold = 64;
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace robmon::sync

@@ -1,0 +1,188 @@
+#include "trace/codec.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace robmon::trace {
+
+namespace {
+
+char kind_code(EventKind kind) {
+  switch (kind) {
+    case EventKind::kEnter:
+      return 'E';
+    case EventKind::kWait:
+      return 'W';
+    case EventKind::kSignalExit:
+      return 'S';
+  }
+  return '?';
+}
+
+EventKind kind_from_code(char code, std::size_t line_no) {
+  switch (code) {
+    case 'E':
+      return EventKind::kEnter;
+    case 'W':
+      return EventKind::kWait;
+    case 'S':
+      return EventKind::kSignalExit;
+    default:
+      throw std::runtime_error("trace line " + std::to_string(line_no) +
+                               ": bad event kind '" + std::string(1, code) +
+                               "'");
+  }
+}
+
+[[noreturn]] void parse_error(std::size_t line_no, const std::string& what) {
+  throw std::runtime_error("trace line " + std::to_string(line_no) + ": " +
+                           what);
+}
+
+}  // namespace
+
+void write_trace(std::ostream& out, const TraceFile& trace) {
+  out << "robmon-trace v1\n";
+  out << "monitor " << trace.monitor_name << " " << trace.monitor_type << " "
+      << trace.rmax << "\n";
+  for (std::size_t i = 0; i < trace.symbols.size(); ++i) {
+    out << "sym " << i << " " << trace.symbols[i] << "\n";
+  }
+  for (const auto& ev : trace.events) {
+    out << "ev " << ev.seq << " " << ev.time << " " << kind_code(ev.kind)
+        << " " << ev.pid << " " << ev.proc << " " << ev.cond << " "
+        << (ev.flag ? 1 : 0) << "\n";
+  }
+  for (const auto& state : trace.checkpoints) {
+    out << "state " << state.captured_at << " " << state.resources << " "
+        << state.running << " " << state.running_proc << " "
+        << state.running_since << "\n";
+    for (const auto& entry : state.entry_queue) {
+      out << "eq " << entry.pid << " " << entry.proc << " "
+          << entry.enqueued_at << "\n";
+    }
+    for (const auto& queue : state.cond_queues) {
+      for (const auto& entry : queue.entries) {
+        out << "cq " << queue.cond << " " << entry.pid << " " << entry.proc
+            << " " << entry.enqueued_at << "\n";
+      }
+      if (queue.entries.empty()) {
+        out << "cq " << queue.cond << " -1 -1 0\n";  // declare empty queue
+      }
+    }
+    out << "endstate\n";
+  }
+}
+
+std::string write_trace_string(const TraceFile& trace) {
+  std::ostringstream out;
+  write_trace(out, trace);
+  return out.str();
+}
+
+TraceFile read_trace(std::istream& in) {
+  TraceFile trace;
+  std::string line;
+  std::size_t line_no = 0;
+  bool in_state = false;
+  SchedulingState current;
+
+  auto flush_state = [&] {
+    if (in_state) parse_error(line_no, "unterminated state block");
+  };
+
+  if (!std::getline(in, line)) parse_error(1, "empty trace");
+  ++line_no;
+  if (line != "robmon-trace v1") parse_error(1, "bad magic: " + line);
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    if (tag == "monitor") {
+      fields >> trace.monitor_name >> trace.monitor_type >> trace.rmax;
+    } else if (tag == "sym") {
+      std::size_t id = 0;
+      std::string name;
+      fields >> id >> name;
+      if (fields.fail()) parse_error(line_no, "bad sym line");
+      if (id != trace.symbols.size()) {
+        parse_error(line_no, "non-dense symbol id");
+      }
+      trace.symbols.push_back(name);
+    } else if (tag == "ev") {
+      EventRecord ev;
+      char code = '?';
+      int flag = 0;
+      fields >> ev.seq >> ev.time >> code >> ev.pid >> ev.proc >> ev.cond >>
+          flag;
+      if (fields.fail()) parse_error(line_no, "bad ev line");
+      ev.kind = kind_from_code(code, line_no);
+      ev.flag = flag != 0;
+      trace.events.push_back(ev);
+    } else if (tag == "state") {
+      if (in_state) parse_error(line_no, "nested state block");
+      current = SchedulingState{};
+      fields >> current.captured_at >> current.resources >> current.running >>
+          current.running_proc >> current.running_since;
+      if (fields.fail()) parse_error(line_no, "bad state line");
+      in_state = true;
+    } else if (tag == "eq") {
+      if (!in_state) parse_error(line_no, "eq outside state block");
+      QueueEntry entry;
+      fields >> entry.pid >> entry.proc >> entry.enqueued_at;
+      if (fields.fail()) parse_error(line_no, "bad eq line");
+      current.entry_queue.push_back(entry);
+    } else if (tag == "cq") {
+      if (!in_state) parse_error(line_no, "cq outside state block");
+      SymbolId cond = kNoSymbol;
+      QueueEntry entry;
+      fields >> cond >> entry.pid >> entry.proc >> entry.enqueued_at;
+      if (fields.fail()) parse_error(line_no, "bad cq line");
+      auto* queue_state = [&]() -> CondQueueState* {
+        for (auto& q : current.cond_queues) {
+          if (q.cond == cond) return &q;
+        }
+        current.cond_queues.push_back(CondQueueState{cond, {}});
+        return &current.cond_queues.back();
+      }();
+      if (entry.pid != kNoPid) queue_state->entries.push_back(entry);
+    } else if (tag == "endstate") {
+      if (!in_state) parse_error(line_no, "endstate outside state block");
+      trace.checkpoints.push_back(current);
+      in_state = false;
+    } else {
+      parse_error(line_no, "unknown tag: " + tag);
+    }
+  }
+  flush_state();
+  return trace;
+}
+
+TraceFile read_trace_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_trace(in);
+}
+
+TraceFile make_trace_file(const std::string& monitor_name,
+                          const std::string& monitor_type, std::int64_t rmax,
+                          const SymbolTable& symbols,
+                          const std::vector<EventRecord>& events,
+                          const std::vector<SchedulingState>& checkpoints) {
+  TraceFile trace;
+  trace.monitor_name = monitor_name;
+  trace.monitor_type = monitor_type;
+  trace.rmax = rmax;
+  trace.symbols.reserve(symbols.size());
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    trace.symbols.push_back(symbols.name(static_cast<SymbolId>(i)));
+  }
+  trace.events = events;
+  trace.checkpoints = checkpoints;
+  return trace;
+}
+
+}  // namespace robmon::trace

@@ -1,0 +1,42 @@
+// Line-oriented text serialization of recorded history: symbol table,
+// scheduling events, and checkpoint scheduling states.  Enables offline
+// replay of the detection algorithms over saved traces (examples/trace_replay)
+// and golden-file tests.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/event.hpp"
+#include "trace/snapshot.hpp"
+
+namespace robmon::trace {
+
+/// In-memory representation of a serialized trace.
+struct TraceFile {
+  std::string monitor_name;
+  std::string monitor_type;  ///< "coordinator" | "allocator" | "manager".
+  std::int64_t rmax = -1;
+  std::vector<std::string> symbols;  ///< index = SymbolId.
+  std::vector<EventRecord> events;
+  std::vector<SchedulingState> checkpoints;
+};
+
+/// Serialize to the robmon-trace v1 text format.
+void write_trace(std::ostream& out, const TraceFile& trace);
+std::string write_trace_string(const TraceFile& trace);
+
+/// Parse a robmon-trace v1 document.  Throws std::runtime_error with a
+/// line-numbered message on malformed input.
+TraceFile read_trace(std::istream& in);
+TraceFile read_trace_string(const std::string& text);
+
+/// Build a TraceFile from live recording state.
+TraceFile make_trace_file(const std::string& monitor_name,
+                          const std::string& monitor_type, std::int64_t rmax,
+                          const SymbolTable& symbols,
+                          const std::vector<EventRecord>& events,
+                          const std::vector<SchedulingState>& checkpoints);
+
+}  // namespace robmon::trace

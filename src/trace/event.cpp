@@ -1,0 +1,66 @@
+#include "trace/event.hpp"
+
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+namespace robmon::trace {
+
+SymbolId SymbolTable::intern(std::string_view name) {
+  std::lock_guard<sync::SpinLock> lock(mu_);
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<SymbolId>(i);
+  }
+  names_.emplace_back(name);
+  return static_cast<SymbolId>(names_.size() - 1);
+}
+
+SymbolId SymbolTable::find(std::string_view name) const {
+  std::lock_guard<sync::SpinLock> lock(mu_);
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<SymbolId>(i);
+  }
+  return kNoSymbol;
+}
+
+std::string SymbolTable::name(SymbolId id) const {
+  if (id == kNoSymbol) return "-";
+  std::lock_guard<sync::SpinLock> lock(mu_);
+  if (id < 0 || static_cast<std::size_t>(id) >= names_.size()) {
+    throw std::out_of_range("unknown symbol id " + std::to_string(id));
+  }
+  return names_[static_cast<std::size_t>(id)];
+}
+
+std::size_t SymbolTable::size() const {
+  std::lock_guard<sync::SpinLock> lock(mu_);
+  return names_.size();
+}
+
+std::string_view to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kEnter:
+      return "Enter";
+    case EventKind::kWait:
+      return "Wait";
+    case EventKind::kSignalExit:
+      return "Signal-Exit";
+  }
+  return "?";
+}
+
+std::string describe(const EventRecord& event, const SymbolTable& symbols) {
+  std::ostringstream out;
+  out << to_string(event.kind) << "(p" << event.pid << ", "
+      << symbols.name(event.proc);
+  if (event.kind != EventKind::kEnter) {
+    out << ", " << symbols.name(event.cond);
+  }
+  if (event.kind != EventKind::kWait) {
+    out << ", " << (event.flag ? 1 : 0);
+  }
+  out << ")";
+  return out.str();
+}
+
+}  // namespace robmon::trace

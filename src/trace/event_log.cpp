@@ -1,0 +1,48 @@
+#include "trace/event_log.hpp"
+
+#include <mutex>
+#include <utility>
+
+namespace robmon::trace {
+
+std::uint64_t EventLog::append(EventRecord event) {
+  std::lock_guard<sync::SpinLock> lock(mu_);
+  event.seq = next_seq_++;
+  buffer_.push_back(event);
+  if (retain_history_) archive_.push_back(event);
+  return event.seq;
+}
+
+std::vector<EventRecord> EventLog::drain() {
+  std::vector<EventRecord> out;
+  std::lock_guard<sync::SpinLock> lock(mu_);
+  out.swap(buffer_);
+  return out;
+}
+
+std::size_t EventLog::pending() const {
+  std::lock_guard<sync::SpinLock> lock(mu_);
+  return buffer_.size();
+}
+
+std::uint64_t EventLog::total_appended() const {
+  std::lock_guard<sync::SpinLock> lock(mu_);
+  return next_seq_;
+}
+
+void EventLog::set_retention(bool retain) {
+  std::lock_guard<sync::SpinLock> lock(mu_);
+  retain_history_ = retain;
+}
+
+bool EventLog::retention() const {
+  std::lock_guard<sync::SpinLock> lock(mu_);
+  return retain_history_;
+}
+
+std::vector<EventRecord> EventLog::history() const {
+  std::lock_guard<sync::SpinLock> lock(mu_);
+  return archive_;
+}
+
+}  // namespace robmon::trace

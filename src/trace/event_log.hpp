@@ -1,0 +1,52 @@
+// Append-only scheduling-event log — the event half of the paper's history
+// information database (Fig. 1).  The data-gathering routines append in real
+// time; the periodic checker drains the segment recorded since the previous
+// checking point ("most of the information can be removed after being used",
+// Section 3.3).  Optional full retention supports offline FD-Rule validation
+// and trace export.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sync/spinlock.hpp"
+#include "trace/event.hpp"
+
+namespace robmon::trace {
+
+class EventLog {
+ public:
+  explicit EventLog(bool retain_history = false)
+      : retain_history_(retain_history) {}
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Append one event; assigns and returns its sequence number.
+  std::uint64_t append(EventRecord event);
+
+  /// Remove and return every event buffered since the last drain, in order.
+  std::vector<EventRecord> drain();
+
+  /// Number of events currently buffered (not yet drained).
+  std::size_t pending() const;
+
+  /// Total events ever appended.
+  std::uint64_t total_appended() const;
+
+  /// When retention is on, every appended event is also archived.
+  void set_retention(bool retain);
+  bool retention() const;
+
+  /// Copy of the full archive (requires retention; empty otherwise).
+  std::vector<EventRecord> history() const;
+
+ private:
+  mutable sync::SpinLock mu_;
+  std::vector<EventRecord> buffer_;
+  std::vector<EventRecord> archive_;
+  std::uint64_t next_seq_ = 0;
+  bool retain_history_;
+};
+
+}  // namespace robmon::trace

@@ -1,0 +1,55 @@
+#include "trace/snapshot.hpp"
+
+#include <sstream>
+
+namespace robmon::trace {
+
+namespace {
+const std::vector<QueueEntry> kEmptyQueue;
+}
+
+const std::vector<QueueEntry>& SchedulingState::cond_entries(
+    SymbolId cond) const {
+  for (const auto& queue : cond_queues) {
+    if (queue.cond == cond) return queue.entries;
+  }
+  return kEmptyQueue;
+}
+
+std::size_t SchedulingState::blocked_count() const {
+  std::size_t n = entry_queue.size();
+  for (const auto& queue : cond_queues) n += queue.entries.size();
+  return n;
+}
+
+std::string describe(const SchedulingState& state,
+                     const SymbolTable& symbols) {
+  std::ostringstream out;
+  out << "state@" << state.captured_at << "ns";
+  if (state.has_running()) {
+    out << " running=p" << state.running << "("
+        << symbols.name(state.running_proc) << ")";
+  } else {
+    out << " running=-";
+  }
+  if (state.resources >= 0) out << " R#=" << state.resources;
+  out << "\n  EQ: [";
+  for (std::size_t i = 0; i < state.entry_queue.size(); ++i) {
+    if (i) out << ", ";
+    out << "p" << state.entry_queue[i].pid << "("
+        << symbols.name(state.entry_queue[i].proc) << ")";
+  }
+  out << "]";
+  for (const auto& queue : state.cond_queues) {
+    out << "\n  CQ[" << symbols.name(queue.cond) << "]: [";
+    for (std::size_t i = 0; i < queue.entries.size(); ++i) {
+      if (i) out << ", ";
+      out << "p" << queue.entries[i].pid << "("
+          << symbols.name(queue.entries[i].proc) << ")";
+    }
+    out << "]";
+  }
+  return out.str();
+}
+
+}  // namespace robmon::trace

@@ -1,0 +1,68 @@
+// Scheduling state — the paper's 3-tuple <EQ, CQ[], R#> (Section 3.1),
+// extended with the active process ("Running", Section 3.3.1) and per-entry
+// enqueue timestamps so that the Timer(Pid) checks (ST-Rules 5/6, Tlimit)
+// can be evaluated at a checking point.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/event.hpp"
+#include "util/clock.hpp"
+
+namespace robmon::trace {
+
+/// One process parked on a queue: who, which procedure it called, and when
+/// it was enqueued (for Timer checks).
+struct QueueEntry {
+  Pid pid = kNoPid;
+  SymbolId proc = kNoSymbol;
+  util::TimeNs enqueued_at = 0;
+
+  bool operator==(const QueueEntry&) const = default;
+};
+
+/// A condition queue and its contents, ordered oldest-first.
+struct CondQueueState {
+  SymbolId cond = kNoSymbol;
+  std::vector<QueueEntry> entries;
+
+  bool operator==(const CondQueueState&) const = default;
+};
+
+/// Snapshot of a monitor's scheduling state at a checking point.
+struct SchedulingState {
+  util::TimeNs captured_at = 0;
+
+  /// EQ: external entry queue, oldest-first.
+  std::vector<QueueEntry> entry_queue;
+
+  /// CQ[]: one state per condition variable, sorted by cond id.
+  std::vector<CondQueueState> cond_queues;
+
+  /// R#: available resources (communication-coordinator monitors; free
+  /// buffer slots for a bounded buffer).  -1 when not applicable.
+  std::int64_t resources = -1;
+
+  /// The process currently running inside the monitor, if any.
+  Pid running = kNoPid;
+  SymbolId running_proc = kNoSymbol;
+  util::TimeNs running_since = 0;
+
+  bool has_running() const { return running != kNoPid; }
+
+  /// Entries of CQ[cond]; empty vector when the condition has no queue yet.
+  const std::vector<QueueEntry>& cond_entries(SymbolId cond) const;
+
+  /// Total processes blocked on EQ plus all condition queues.
+  std::size_t blocked_count() const;
+
+  bool operator==(const SchedulingState&) const = default;
+};
+
+/// Multi-line human-readable rendering for reports and debugging.
+std::string describe(const SchedulingState& state, const SymbolTable& symbols);
+
+}  // namespace robmon::trace

@@ -1,0 +1,61 @@
+// Clock abstraction shared by the real-thread runtime and the deterministic
+// simulator.  All timer-based fault-detection rules (Tmax, Tio, Tlimit) are
+// expressed against a Clock so that the simulator can drive them with virtual
+// time and tests never depend on wall-clock behaviour.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace robmon::util {
+
+/// Nanoseconds since an arbitrary epoch.  All robmon timestamps use this unit.
+using TimeNs = std::int64_t;
+
+constexpr TimeNs kMillisecond = 1'000'000;
+constexpr TimeNs kSecond = 1'000'000'000;
+
+/// Abstract monotone clock.  Implementations must be thread-safe.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in nanoseconds.  Monotone non-decreasing.
+  virtual TimeNs now_ns() const = 0;
+};
+
+/// Real monotone clock backed by std::chrono::steady_clock.
+class SteadyClock final : public Clock {
+ public:
+  TimeNs now_ns() const override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+  /// Process-wide shared instance (stateless, so sharing is safe).
+  static SteadyClock& instance() {
+    static SteadyClock clock;
+    return clock;
+  }
+};
+
+/// Manually advanced clock for deterministic tests and the simulator.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(TimeNs start = 0) : now_(start) {}
+
+  TimeNs now_ns() const override { return now_.load(std::memory_order_acquire); }
+
+  /// Advance by `delta` nanoseconds; returns the new time.
+  TimeNs advance(TimeNs delta) {
+    return now_.fetch_add(delta, std::memory_order_acq_rel) + delta;
+  }
+
+  /// Jump directly to `t`.  `t` must not be earlier than the current time.
+  void set(TimeNs t) { now_.store(t, std::memory_order_release); }
+
+ private:
+  std::atomic<TimeNs> now_;
+};
+
+}  // namespace robmon::util

@@ -1,0 +1,77 @@
+#include "util/flags.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace robmon::util {
+
+void Flags::define(const std::string& name, const std::string& default_value,
+                   const std::string& help) {
+  entries_[name] = Entry{default_value, default_value, help};
+}
+
+bool Flags::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage(argv[0]).c_str(), stderr);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::string key;
+    std::string value;
+    const auto eq = body.find('=');
+    if (eq == std::string::npos) {
+      key = body;
+      value = "true";  // bare --flag means boolean true
+    } else {
+      key = body.substr(0, eq);
+      value = body.substr(eq + 1);
+    }
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      std::fprintf(stderr, "unknown flag --%s\n%s", key.c_str(),
+                   usage(argv[0]).c_str());
+      return false;
+    }
+    it->second.value = value;
+  }
+  return true;
+}
+
+std::string Flags::str(const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) throw std::out_of_range("undefined flag " + name);
+  return it->second.value;
+}
+
+std::int64_t Flags::i64(const std::string& name) const {
+  return std::strtoll(str(name).c_str(), nullptr, 10);
+}
+
+double Flags::f64(const std::string& name) const {
+  return std::strtod(str(name).c_str(), nullptr);
+}
+
+bool Flags::boolean(const std::string& name) const {
+  const std::string v = str(name);
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::string Flags::usage(const std::string& program) const {
+  std::ostringstream out;
+  out << "usage: " << program << " [--flag=value]...\n";
+  for (const auto& [name, entry] : entries_) {
+    out << "  --" << name << " (default: " << entry.default_value << ")  "
+        << entry.help << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace robmon::util

@@ -1,0 +1,42 @@
+// Tiny --key=value command-line parser for the examples and benches.
+// Supports string / int64 / double / bool flags with defaults and --help.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace robmon::util {
+
+class Flags {
+ public:
+  /// Declare a flag before parse().  `help` is shown by --help.
+  void define(const std::string& name, const std::string& default_value,
+              const std::string& help);
+
+  /// Parse argv; returns false (and prints usage) on unknown flag or --help.
+  bool parse(int argc, char** argv);
+
+  std::string str(const std::string& name) const;
+  std::int64_t i64(const std::string& name) const;
+  double f64(const std::string& name) const;
+  bool boolean(const std::string& name) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  std::string usage(const std::string& program) const;
+
+ private:
+  struct Entry {
+    std::string value;
+    std::string default_value;
+    std::string help;
+  };
+  std::map<std::string, Entry> entries_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace robmon::util

@@ -1,0 +1,66 @@
+// Minimal leveled logger.  Kept deliberately tiny: the library itself logs
+// nothing by default; examples and benches raise the level for narration,
+// and fault reports are routed through core::ReportSink rather than the log.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace robmon::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit a single log line (thread-safe, writes to stderr).
+void log_line(LogLevel level, std::string_view message);
+
+namespace detail {
+inline void append_all(std::ostringstream&) {}
+
+template <typename First, typename... Rest>
+void append_all(std::ostringstream& out, const First& first,
+                const Rest&... rest) {
+  out << first;
+  append_all(out, rest...);
+}
+}  // namespace detail
+
+/// Convenience variadic loggers: log_info("x=", x, " y=", y).
+template <typename... Args>
+void log_debug(const Args&... args) {
+  if (log_level() > LogLevel::kDebug) return;
+  std::ostringstream out;
+  detail::append_all(out, args...);
+  log_line(LogLevel::kDebug, out.str());
+}
+
+template <typename... Args>
+void log_info(const Args&... args) {
+  if (log_level() > LogLevel::kInfo) return;
+  std::ostringstream out;
+  detail::append_all(out, args...);
+  log_line(LogLevel::kInfo, out.str());
+}
+
+template <typename... Args>
+void log_warn(const Args&... args) {
+  if (log_level() > LogLevel::kWarn) return;
+  std::ostringstream out;
+  detail::append_all(out, args...);
+  log_line(LogLevel::kWarn, out.str());
+}
+
+template <typename... Args>
+void log_error(const Args&... args) {
+  if (log_level() > LogLevel::kError) return;
+  std::ostringstream out;
+  detail::append_all(out, args...);
+  log_line(LogLevel::kError, out.str());
+}
+
+}  // namespace robmon::util

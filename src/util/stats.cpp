@@ -1,0 +1,90 @@
+#include "util/stats.hpp"
+
+#include <numeric>
+#include <sstream>
+
+namespace robmon::util {
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Samples::mean() const {
+  if (values_.empty()) return 0.0;
+  return std::accumulate(values_.begin(), values_.end(), 0.0) /
+         static_cast<double>(values_.size());
+}
+
+double Samples::percentile(double p) const {
+  if (values_.empty()) return 0.0;
+  std::vector<double> sorted = values_;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo_idx = static_cast<std::size_t>(rank);
+  const auto hi_idx = std::min(lo_idx + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo_idx);
+  return sorted[lo_idx] + frac * (sorted[hi_idx] - sorted[lo_idx]);
+}
+
+double Samples::min() const {
+  return values_.empty() ? 0.0
+                         : *std::min_element(values_.begin(), values_.end());
+}
+
+double Samples::max() const {
+  return values_.empty() ? 0.0
+                         : *std::max_element(values_.begin(), values_.end());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const double span = hi_ - lo_;
+  auto idx = static_cast<std::size_t>((x - lo_) / span *
+                                      static_cast<double>(counts_.size()));
+  if (idx >= counts_.size()) idx = counts_.size() - 1;
+  ++counts_[idx];
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::ostringstream out;
+  std::size_t peak = 1;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  const double bucket_span =
+      (hi_ - lo_) / static_cast<double>(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double bucket_lo = lo_ + bucket_span * static_cast<double>(i);
+    const auto bar =
+        counts_[i] * width / peak;
+    out << "[" << bucket_lo << ", " << bucket_lo + bucket_span << ") "
+        << std::string(bar, '#') << " " << counts_[i] << "\n";
+  }
+  if (underflow_ != 0) out << "underflow: " << underflow_ << "\n";
+  if (overflow_ != 0) out << "overflow: " << overflow_ << "\n";
+  return out.str();
+}
+
+}  // namespace robmon::util

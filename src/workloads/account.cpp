@@ -1,0 +1,48 @@
+#include "workloads/account.hpp"
+
+namespace robmon::wl {
+
+AccountManager::AccountManager(rt::RobustMonitor& monitor,
+                               std::int64_t initial_balance)
+    : monitor_(&monitor), balance_(initial_balance) {}
+
+std::int64_t AccountManager::balance() const {
+  std::lock_guard<std::mutex> lock(balance_mu_);
+  return balance_;
+}
+
+rt::Status AccountManager::deposit(trace::Pid pid, std::int64_t amount) {
+  if (const auto status = monitor_->enter(pid, "Deposit");
+      status != rt::Status::kOk) {
+    return status;
+  }
+  {
+    std::lock_guard<std::mutex> lock(balance_mu_);
+    balance_ += amount;
+  }
+  monitor_->signal_exit(pid, "funds");
+  return rt::Status::kOk;
+}
+
+rt::Status AccountManager::withdraw(trace::Pid pid, std::int64_t amount) {
+  if (const auto status = monitor_->enter(pid, "Withdraw");
+      status != rt::Status::kOk) {
+    return status;
+  }
+  // Each "funds" signal resumes one waiter; if the balance still does not
+  // cover the request, wait again (multiple waits per call are legal).
+  while (balance() < amount) {
+    if (const auto status = monitor_->wait(pid, "funds");
+        status != rt::Status::kOk) {
+      return status;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(balance_mu_);
+    balance_ -= amount;
+  }
+  monitor_->exit(pid);
+  return rt::Status::kOk;
+}
+
+}  // namespace robmon::wl

@@ -1,0 +1,33 @@
+// Shared bank account — a resource-operation-manager monitor (Section 2.1):
+// the monitor and the resource are combined into one module and processes
+// simply invoke operations (implicit synchronization).  Withdrawals wait on
+// condition "funds" until the balance suffices; deposits signal it.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "runtime/robust_monitor.hpp"
+
+namespace robmon::wl {
+
+class AccountManager {
+ public:
+  /// `monitor` must be a manager-type RobustMonitor.
+  AccountManager(rt::RobustMonitor& monitor, std::int64_t initial_balance);
+
+  /// Monitor procedure "Deposit".
+  rt::Status deposit(trace::Pid pid, std::int64_t amount);
+
+  /// Monitor procedure "Withdraw": waits on "funds" until covered.
+  rt::Status withdraw(trace::Pid pid, std::int64_t amount);
+
+  std::int64_t balance() const;
+
+ private:
+  rt::RobustMonitor* monitor_;
+  mutable std::mutex balance_mu_;
+  std::int64_t balance_;
+};
+
+}  // namespace robmon::wl

@@ -1,0 +1,98 @@
+#include "workloads/allocator.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace robmon::wl {
+
+using core::FaultKind;
+
+ResourceAllocator::ResourceAllocator(rt::RobustMonitor& monitor,
+                                     std::int64_t units)
+    : monitor_(&monitor), units_(units) {
+  monitor_->set_resource_gauge([this] { return available(); });
+}
+
+std::int64_t ResourceAllocator::available() const {
+  std::lock_guard<std::mutex> lock(units_mu_);
+  return units_;
+}
+
+rt::Status ResourceAllocator::acquire(trace::Pid pid) {
+  if (const auto status = monitor_->enter(pid, "Acquire");
+      status != rt::Status::kOk) {
+    return status;
+  }
+  if (available() == 0) {
+    if (const auto status = monitor_->wait(pid, "available");
+        status != rt::Status::kOk) {
+      return status;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(units_mu_);
+    --units_;
+  }
+  monitor_->exit(pid);
+  return rt::Status::kOk;
+}
+
+rt::Status ResourceAllocator::release(trace::Pid pid) {
+  if (const auto status = monitor_->enter(pid, "Release");
+      status != rt::Status::kOk) {
+    return status;
+  }
+  {
+    std::lock_guard<std::mutex> lock(units_mu_);
+    ++units_;
+  }
+  monitor_->signal_exit(pid, "available");
+  return rt::Status::kOk;
+}
+
+rt::Status run_allocator_client(
+    ResourceAllocator& allocator, trace::Pid pid,
+    inject::InjectionController& injection, const ClientOptions& options,
+    const std::function<void(util::TimeNs)>& sleep_fn) {
+  const auto sleep = [&](util::TimeNs ns) {
+    if (ns <= 0) return;
+    if (sleep_fn) {
+      sleep_fn(ns);
+    } else {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+    }
+  };
+
+  for (int i = 0; i < options.iterations; ++i) {
+    // Fault III.a: release a resource that was never acquired.
+    if (injection.fire(FaultKind::kReleaseBeforeAcquire, pid)) {
+      if (const auto status = allocator.release(pid);
+          status != rt::Status::kOk) {
+        return status;
+      }
+    }
+    if (const auto status = allocator.acquire(pid);
+        status != rt::Status::kOk) {
+      return status;
+    }
+    // Fault III.c: acquire again while already holding (self-deadlock).
+    if (injection.fire(FaultKind::kDoubleAcquireDeadlock, pid)) {
+      if (const auto status = allocator.acquire(pid);
+          status != rt::Status::kOk) {
+        return status;
+      }
+    }
+    sleep(options.hold_ns);
+    // Fault III.b: never release the acquired resource.
+    if (!injection.fire(FaultKind::kResourceNeverReleased, pid)) {
+      if (const auto status = allocator.release(pid);
+          status != rt::Status::kOk) {
+        return status;
+      }
+    }
+    sleep(options.think_ns);
+  }
+  return rt::Status::kOk;
+}
+
+}  // namespace robmon::wl

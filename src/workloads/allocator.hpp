@@ -1,0 +1,56 @@
+// Resource-access-right allocator (Section 2.1): a monitor mediating
+// Acquire/Release of a pool of identical units, with the declared call
+// order (Acquire ; Release)* checked in real time by the RobustMonitor.
+//
+// The paper's three Level-III (user process) faults are bugs in *client*
+// code, injected by the client driver:
+//   III.a kReleaseBeforeAcquire   Release issued while holding nothing.
+//   III.b kResourceNeverReleased  Acquired unit never returned.
+//   III.c kDoubleAcquireDeadlock  Re-acquire while already holding.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+#include "inject/injection.hpp"
+#include "runtime/robust_monitor.hpp"
+
+namespace robmon::wl {
+
+class ResourceAllocator {
+ public:
+  /// `monitor` must be an allocator-type RobustMonitor.
+  ResourceAllocator(rt::RobustMonitor& monitor, std::int64_t units);
+
+  /// Monitor procedure "Acquire": blocks on condition "available" while no
+  /// unit is free.
+  rt::Status acquire(trace::Pid pid);
+
+  /// Monitor procedure "Release": returns a unit, resuming one waiter.
+  rt::Status release(trace::Pid pid);
+
+  std::int64_t available() const;
+
+ private:
+  rt::RobustMonitor* monitor_;
+  mutable std::mutex units_mu_;
+  std::int64_t units_;
+};
+
+/// One client process's lifetime against the allocator.
+struct ClientOptions {
+  int iterations = 10;
+  util::TimeNs hold_ns = 0;   ///< Simulated use of the resource.
+  util::TimeNs think_ns = 0;  ///< Pause between iterations.
+};
+
+/// Runs acquire/use/release loops, consulting `injection` for the three
+/// Level-III faults.  `sleep_fn` abstracts the delay (std::this_thread-based
+/// by default) so tests can use virtual pauses.
+rt::Status run_allocator_client(
+    ResourceAllocator& allocator, trace::Pid pid,
+    inject::InjectionController& injection, const ClientOptions& options,
+    const std::function<void(util::TimeNs)>& sleep_fn = {});
+
+}  // namespace robmon::wl

@@ -1,0 +1,98 @@
+#include "workloads/dining.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "workloads/allocator.hpp"
+
+namespace robmon::wl {
+
+DiningResult run_dining(const DiningOptions& options) {
+  const int n = options.philosophers;
+
+  core::CollectingSink sink;
+  std::vector<std::unique_ptr<rt::RobustMonitor>> fork_monitors;
+  std::vector<std::unique_ptr<ResourceAllocator>> forks;
+  fork_monitors.reserve(static_cast<std::size_t>(n));
+  forks.reserve(static_cast<std::size_t>(n));
+  for (int f = 0; f < n; ++f) {
+    core::MonitorSpec spec =
+        core::MonitorSpec::allocator("fork-" + std::to_string(f));
+    spec.t_limit = options.t_limit;
+    spec.t_max = options.t_max;
+    spec.t_io = options.t_io;
+    spec.check_period = options.check_period;
+    fork_monitors.push_back(
+        std::make_unique<rt::RobustMonitor>(spec, sink));
+    forks.push_back(
+        std::make_unique<ResourceAllocator>(*fork_monitors.back(), 1));
+    fork_monitors.back()->start_checking();
+  }
+
+  std::atomic<int> finished{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < n; ++p) {
+    threads.emplace_back([&, p] {
+      const trace::Pid pid = p;
+      int first = p;            // left fork
+      int second = (p + 1) % n;  // right fork
+      if (!options.symmetric_order && p == n - 1) std::swap(first, second);
+      for (int round = 0; round < options.rounds; ++round) {
+        if (forks[static_cast<std::size_t>(first)]->acquire(pid) !=
+            rt::Status::kOk) {
+          return;
+        }
+        if (options.grab_gap_ns > 0) {
+          std::this_thread::sleep_for(
+              std::chrono::nanoseconds(options.grab_gap_ns));
+        }
+        if (forks[static_cast<std::size_t>(second)]->acquire(pid) !=
+            rt::Status::kOk) {
+          return;
+        }
+        std::this_thread::sleep_for(
+            std::chrono::nanoseconds(options.eat_ns));
+        forks[static_cast<std::size_t>(second)]->release(pid);
+        forks[static_cast<std::size_t>(first)]->release(pid);
+        std::this_thread::sleep_for(
+            std::chrono::nanoseconds(options.think_ns));
+      }
+      finished.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+
+  // Watchdog: wait for completion or the timeout, then poison the forks so
+  // that deadlocked philosophers unwind.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::nanoseconds(options.run_timeout);
+  while (finished.load(std::memory_order_relaxed) < n &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const bool completed = finished.load(std::memory_order_relaxed) == n;
+  if (!completed) {
+    for (auto& monitor : fork_monitors) monitor->poison();
+  }
+  for (auto& thread : threads) thread.join();
+  for (auto& monitor : fork_monitors) {
+    monitor->stop_checking();
+    if (completed) monitor->check_now();  // final segment on clean runs
+  }
+
+  DiningResult result;
+  result.completed = completed;
+  result.reports = sink.reports();
+  result.fault_reports = result.reports.size();
+  for (const auto& report : result.reports) {
+    if (report.rule == core::RuleId::kSt8cHoldExceedsTlimit ||
+        report.rule == core::RuleId::kSt5ResidenceExceedsTmax ||
+        report.rule == core::RuleId::kSt6EntryWaitExceedsTio) {
+      result.deadlock_reported = true;
+    }
+  }
+  return result;
+}
+
+}  // namespace robmon::wl

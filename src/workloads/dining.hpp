@@ -1,0 +1,47 @@
+// Dining philosophers over resource-access-right-allocator monitors: each
+// fork is a one-unit allocator RobustMonitor with its own periodic checker.
+// With the symmetric grab order (everyone takes the left fork first) the
+// system can deadlock; the detection model then reports it through ST-8c
+// (fork held beyond Tlimit), ST-5 (condition wait beyond Tmax) and ST-6 —
+// the run-time manifestation of the paper's user-process-level fault III.c.
+// The asymmetric variant (last philosopher grabs right first) is the
+// fault-free control.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/fault.hpp"
+#include "util/clock.hpp"
+
+namespace robmon::wl {
+
+struct DiningOptions {
+  int philosophers = 5;
+  int rounds = 50;
+  util::TimeNs eat_ns = 200'000;    // 0.2 ms
+  util::TimeNs think_ns = 100'000;  // 0.1 ms
+  /// Pause between grabbing the first and second fork; a nonzero gap makes
+  /// the circular wait near-certain under the symmetric order.
+  util::TimeNs grab_gap_ns = 0;
+  /// true = symmetric order (deadlock-prone); false = last philosopher
+  /// grabs right-hand fork first (deadlock-free control).
+  bool symmetric_order = true;
+  util::TimeNs t_limit = 100 * util::kMillisecond;
+  util::TimeNs t_max = 100 * util::kMillisecond;
+  util::TimeNs t_io = 200 * util::kMillisecond;
+  util::TimeNs check_period = 50 * util::kMillisecond;
+  /// Give up (poison the forks) after this much wall-clock time.
+  util::TimeNs run_timeout = 2 * util::kSecond;
+};
+
+struct DiningResult {
+  bool completed = false;  ///< All philosophers finished all rounds.
+  bool deadlock_reported = false;  ///< Any Tlimit/Tmax/Tio report.
+  std::size_t fault_reports = 0;
+  std::vector<core::FaultReport> reports;
+};
+
+DiningResult run_dining(const DiningOptions& options);
+
+}  // namespace robmon::wl

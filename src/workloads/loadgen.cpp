@@ -1,0 +1,169 @@
+#include "workloads/loadgen.hpp"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "workloads/account.hpp"
+#include "workloads/allocator.hpp"
+#include "workloads/bounded_buffer.hpp"
+
+namespace robmon::wl {
+
+namespace {
+
+void simulated_work(util::TimeNs ns) {
+  if (ns <= 0) return;
+  std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+}
+
+core::MonitorSpec make_spec(const LoadOptions& options) {
+  core::MonitorSpec spec;
+  switch (options.type) {
+    case core::MonitorType::kCommunicationCoordinator:
+      spec = core::MonitorSpec::coordinator(
+          "load-buffer", static_cast<std::int64_t>(options.capacity));
+      break;
+    case core::MonitorType::kResourceAllocator:
+      spec = core::MonitorSpec::allocator("load-allocator");
+      break;
+    case core::MonitorType::kOperationManager:
+      spec = core::MonitorSpec::manager("load-account");
+      break;
+  }
+  spec.check_period = options.check_period;
+  spec.t_max = options.t_max;
+  spec.t_io = options.t_io;
+  spec.t_limit = options.t_limit;
+  return spec;
+}
+
+}  // namespace
+
+LoadResult run_load(const LoadOptions& options) {
+  core::CollectingSink sink;
+  rt::RobustMonitor::Options monitor_options;
+  monitor_options.instrumentation = options.instrumentation;
+  monitor_options.hold_gate_during_check = options.hold_gate_during_check;
+  rt::RobustMonitor monitor(make_spec(options), sink, monitor_options);
+
+  const bool checking = options.periodic_checking &&
+                        options.instrumentation == rt::Instrumentation::kFull;
+
+  std::vector<std::thread> threads;
+  std::uint64_t total_operations = 0;
+  const auto started = std::chrono::steady_clock::now();
+
+  switch (options.type) {
+    case core::MonitorType::kCommunicationCoordinator: {
+      BoundedBuffer buffer(monitor, options.capacity);
+      const int producers = std::max(1, options.workers / 2);
+      const int consumers = std::max(1, options.workers - producers);
+      const std::int64_t total_items =
+          options.ops_per_worker * static_cast<std::int64_t>(producers);
+      const std::int64_t per_consumer = total_items / consumers;
+      const std::int64_t remainder = total_items % consumers;
+      if (checking) monitor.start_checking();
+      for (int p = 0; p < producers; ++p) {
+        threads.emplace_back([&, p] {
+          const trace::Pid pid = p;
+          for (std::int64_t i = 0; i < options.ops_per_worker; ++i) {
+            if (buffer.send(pid, i) != rt::Status::kOk) return;
+            simulated_work(options.work_ns);
+          }
+        });
+      }
+      for (int c = 0; c < consumers; ++c) {
+        threads.emplace_back([&, c] {
+          const trace::Pid pid = 1000 + c;
+          const std::int64_t quota = per_consumer + (c == 0 ? remainder : 0);
+          std::int64_t item = 0;
+          for (std::int64_t i = 0; i < quota; ++i) {
+            if (buffer.receive(pid, &item) != rt::Status::kOk) return;
+            simulated_work(options.work_ns);
+          }
+        });
+      }
+      total_operations =
+          static_cast<std::uint64_t>(total_items) * 2;  // sends + receives
+      for (auto& thread : threads) thread.join();
+      break;
+    }
+    case core::MonitorType::kResourceAllocator: {
+      ResourceAllocator allocator(
+          monitor, static_cast<std::int64_t>(std::max<std::size_t>(
+                       1, options.capacity)));
+      const std::int64_t iterations = options.ops_per_worker / 2;
+      if (checking) monitor.start_checking();
+      for (int w = 0; w < options.workers; ++w) {
+        threads.emplace_back([&, w] {
+          const trace::Pid pid = w;
+          ClientOptions client;
+          client.iterations = static_cast<int>(iterations);
+          client.hold_ns = options.work_ns;
+          client.think_ns = 0;
+          run_allocator_client(allocator, pid,
+                               inject::NullInjection::instance(), client);
+        });
+      }
+      total_operations = static_cast<std::uint64_t>(iterations) * 2 *
+                         static_cast<std::uint64_t>(options.workers);
+      for (auto& thread : threads) thread.join();
+      break;
+    }
+    case core::MonitorType::kOperationManager: {
+      AccountManager account(monitor,
+                             static_cast<std::int64_t>(options.workers));
+      const int depositors = std::max(1, options.workers / 2);
+      const int withdrawers = std::max(1, options.workers - depositors);
+      const std::int64_t deposits_total =
+          options.ops_per_worker * static_cast<std::int64_t>(depositors);
+      const std::int64_t per_withdrawer = deposits_total / withdrawers;
+      const std::int64_t remainder = deposits_total % withdrawers;
+      if (checking) monitor.start_checking();
+      for (int d = 0; d < depositors; ++d) {
+        threads.emplace_back([&, d] {
+          const trace::Pid pid = d;
+          for (std::int64_t i = 0; i < options.ops_per_worker; ++i) {
+            if (account.deposit(pid, 1) != rt::Status::kOk) return;
+            simulated_work(options.work_ns);
+          }
+        });
+      }
+      for (int w = 0; w < withdrawers; ++w) {
+        threads.emplace_back([&, w] {
+          const trace::Pid pid = 1000 + w;
+          const std::int64_t quota = per_withdrawer + (w == 0 ? remainder : 0);
+          for (std::int64_t i = 0; i < quota; ++i) {
+            if (account.withdraw(pid, 1) != rt::Status::kOk) return;
+            simulated_work(options.work_ns);
+          }
+        });
+      }
+      total_operations = static_cast<std::uint64_t>(deposits_total) * 2;
+      for (auto& thread : threads) thread.join();
+      break;
+    }
+  }
+
+  const auto finished = std::chrono::steady_clock::now();
+  if (checking) {
+    monitor.stop_checking();
+    monitor.check_now();  // final segment
+  }
+
+  LoadResult result;
+  result.operations = total_operations;
+  result.seconds =
+      std::chrono::duration<double>(finished - started).count();
+  result.ops_per_second =
+      result.seconds > 0 ? static_cast<double>(result.operations) /
+                               result.seconds
+                         : 0.0;
+  result.checks_run = monitor.detector().checks_run();
+  result.events_recorded = monitor.monitor().log().total_appended();
+  result.faults_reported = sink.count();
+  return result;
+}
+
+}  // namespace robmon::wl

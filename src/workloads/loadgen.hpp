@@ -1,0 +1,47 @@
+// Closed-loop load drivers for the three monitor types, used by the Table-1
+// overhead benchmark and by the soak/property tests.  Each driver builds a
+// RobustMonitor with the requested instrumentation/checking configuration,
+// runs a fixed number of operations across worker threads, and reports
+// throughput plus the detector's counters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/fault.hpp"
+#include "core/monitor_spec.hpp"
+#include "runtime/robust_monitor.hpp"
+
+namespace robmon::wl {
+
+struct LoadOptions {
+  core::MonitorType type = core::MonitorType::kCommunicationCoordinator;
+  int workers = 4;           ///< Total worker threads (split 50/50 where
+                             ///  the workload has two roles).
+  std::int64_t ops_per_worker = 2000;
+  std::size_t capacity = 8;  ///< Buffer slots / allocator units.
+  util::TimeNs work_ns = 0;  ///< Simulated work outside the monitor.
+
+  /// Monitor construction knobs.
+  rt::Instrumentation instrumentation = rt::Instrumentation::kFull;
+  bool periodic_checking = true;      ///< Start the checker thread.
+  util::TimeNs check_period = 100 * util::kMillisecond;
+  bool hold_gate_during_check = true;
+  util::TimeNs t_max = 5 * util::kSecond;   ///< Generous: no false timeouts
+  util::TimeNs t_io = 5 * util::kSecond;    ///  under heavy load.
+  util::TimeNs t_limit = 5 * util::kSecond;
+};
+
+struct LoadResult {
+  std::uint64_t operations = 0;   ///< Completed monitor procedure calls.
+  double seconds = 0.0;           ///< Wall-clock for the measured region.
+  double ops_per_second = 0.0;
+  std::uint64_t checks_run = 0;
+  std::uint64_t events_recorded = 0;
+  std::size_t faults_reported = 0;  ///< Should be 0 on fault-free runs.
+};
+
+/// Run the closed-loop workload described by `options`.
+LoadResult run_load(const LoadOptions& options);
+
+}  // namespace robmon::wl

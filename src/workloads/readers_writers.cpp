@@ -1,0 +1,137 @@
+#include "workloads/readers_writers.hpp"
+
+namespace robmon::wl {
+
+namespace {
+/// Counter access shorthand: all fields are logically monitor state; the
+/// mutex only provides memory-order safety for observers outside the
+/// monitor (active_readers(), tests).
+template <typename T>
+T locked_get(std::mutex& mu, const T& field) {
+  std::lock_guard<std::mutex> lock(mu);
+  return field;
+}
+}  // namespace
+
+ReadersWriters::ReadersWriters(rt::RobustMonitor& monitor)
+    : monitor_(&monitor) {}
+
+std::int64_t ReadersWriters::active_readers() const {
+  return locked_get(state_mu_, readers_);
+}
+
+bool ReadersWriters::writer_active() const {
+  return locked_get(state_mu_, writing_);
+}
+
+rt::Status ReadersWriters::start_read(trace::Pid pid) {
+  if (const auto status = monitor_->enter(pid, "StartRead");
+      status != rt::Status::kOk) {
+    return status;
+  }
+  bool must_wait;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    // Writer priority: readers defer to active and waiting writers.
+    must_wait = writing_ || waiting_writers_ > 0;
+    if (must_wait) ++waiting_readers_;
+  }
+  if (must_wait) {
+    if (const auto status = monitor_->wait(pid, "okToRead");
+        status != rt::Status::kOk) {
+      return status;
+    }
+    std::lock_guard<std::mutex> lock(state_mu_);
+    --waiting_readers_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    ++readers_;
+  }
+  // Baton passing: wake the next waiting reader (if any) while leaving.
+  monitor_->signal_exit(pid, "okToRead");
+  return rt::Status::kOk;
+}
+
+rt::Status ReadersWriters::end_read(trace::Pid pid) {
+  if (const auto status = monitor_->enter(pid, "EndRead");
+      status != rt::Status::kOk) {
+    return status;
+  }
+  bool last_reader;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    --readers_;
+    last_reader = readers_ == 0;
+  }
+  if (last_reader) {
+    monitor_->signal_exit(pid, "okToWrite");
+  } else {
+    monitor_->exit(pid);
+  }
+  return rt::Status::kOk;
+}
+
+rt::Status ReadersWriters::start_write(trace::Pid pid) {
+  if (const auto status = monitor_->enter(pid, "StartWrite");
+      status != rt::Status::kOk) {
+    return status;
+  }
+  bool must_wait;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    must_wait = writing_ || readers_ > 0;
+    if (must_wait) ++waiting_writers_;
+  }
+  if (must_wait) {
+    if (const auto status = monitor_->wait(pid, "okToWrite");
+        status != rt::Status::kOk) {
+      return status;
+    }
+    std::lock_guard<std::mutex> lock(state_mu_);
+    --waiting_writers_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    writing_ = true;
+  }
+  monitor_->exit(pid);
+  return rt::Status::kOk;
+}
+
+rt::Status ReadersWriters::end_write(trace::Pid pid) {
+  if (const auto status = monitor_->enter(pid, "EndWrite");
+      status != rt::Status::kOk) {
+    return status;
+  }
+  bool readers_waiting;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    writing_ = false;
+    readers_waiting = waiting_readers_ > 0;
+  }
+  // Prefer the reader cascade when readers queued while we wrote;
+  // otherwise hand to the next writer.
+  monitor_->signal_exit(pid, readers_waiting ? "okToRead" : "okToWrite");
+  return rt::Status::kOk;
+}
+
+rt::Status ReadersWriters::read(trace::Pid pid,
+                                const std::function<void()>& body) {
+  if (const auto status = start_read(pid); status != rt::Status::kOk) {
+    return status;
+  }
+  body();
+  return end_read(pid);
+}
+
+rt::Status ReadersWriters::write(trace::Pid pid,
+                                 const std::function<void()>& body) {
+  if (const auto status = start_write(pid); status != rt::Status::kOk) {
+    return status;
+  }
+  body();
+  return end_write(pid);
+}
+
+}  // namespace robmon::wl

@@ -1,0 +1,49 @@
+// Readers-writers controller — a resource-operation-manager monitor
+// (Section 2.1) with two condition variables and writer priority, written
+// in the baton-passing style that the paper's *combined* Signal-Exit
+// naturally induces: a resumed reader passes the baton to the next waiting
+// reader as it leaves the entry protocol, giving the classic reader
+// cascade without an urgent queue.
+//
+// Procedures: StartRead / EndRead / StartWrite / EndWrite; processes use
+// the implicit-synchronization wrappers read()/write() (the operation
+// manager mediates everything, as Section 2.1 prescribes for this type).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+#include "runtime/robust_monitor.hpp"
+
+namespace robmon::wl {
+
+class ReadersWriters {
+ public:
+  /// `monitor` must be a manager-type RobustMonitor.
+  explicit ReadersWriters(rt::RobustMonitor& monitor);
+
+  /// Execute `body` under shared (reader) access.
+  rt::Status read(trace::Pid pid, const std::function<void()>& body);
+
+  /// Execute `body` under exclusive (writer) access.
+  rt::Status write(trace::Pid pid, const std::function<void()>& body);
+
+  std::int64_t active_readers() const;
+  bool writer_active() const;
+
+ private:
+  rt::Status start_read(trace::Pid pid);
+  rt::Status end_read(trace::Pid pid);
+  rt::Status start_write(trace::Pid pid);
+  rt::Status end_write(trace::Pid pid);
+
+  rt::RobustMonitor* monitor_;
+  mutable std::mutex state_mu_;
+  std::int64_t readers_ = 0;
+  std::int64_t waiting_readers_ = 0;
+  std::int64_t waiting_writers_ = 0;
+  bool writing_ = false;
+};
+
+}  // namespace robmon::wl

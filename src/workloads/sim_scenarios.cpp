@@ -1,0 +1,344 @@
+#include "workloads/sim_scenarios.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "core/detector.hpp"
+#include "core/fd_rules.hpp"
+#include "core/monitor_spec.hpp"
+
+namespace robmon::wl {
+
+using core::FaultKind;
+using core::MonitorType;
+
+sim::Op<> sim_send(sim::SimMonitor& monitor, SimBuffer& buffer,
+                   trace::Pid pid, std::int64_t item,
+                   inject::InjectionController& injection,
+                   util::TimeNs in_monitor_ns) {
+  co_await monitor.enter("Send");
+  if (in_monitor_ns > 0) {
+    co_await monitor.scheduler().delay(in_monitor_ns);
+  }
+  // II.a: delayed although not full / II.d: not delayed although full.
+  // Arming is conditioned on the state where the fault has an effect, so a
+  // one-shot injection is not wasted on a no-op opportunity.
+  const bool force_delay =
+      !buffer.full() && injection.fire(FaultKind::kSendDelayWrong, pid);
+  const bool skip_delay =
+      buffer.full() && injection.fire(FaultKind::kSendExceedsCapacity, pid);
+  if (force_delay || (buffer.full() && !skip_delay)) {
+    co_await monitor.wait("full");
+  }
+  buffer.items.push_back(item);
+  monitor.signal_exit("empty");
+}
+
+sim::Op<> sim_receive(sim::SimMonitor& monitor, SimBuffer& buffer,
+                      trace::Pid pid, inject::InjectionController& injection,
+                      util::TimeNs in_monitor_ns) {
+  co_await monitor.enter("Receive");
+  if (in_monitor_ns > 0) {
+    co_await monitor.scheduler().delay(in_monitor_ns);
+  }
+  // II.b: delayed although not empty / II.c: fabricate instead of waiting.
+  const bool force_delay =
+      !buffer.empty() && injection.fire(FaultKind::kReceiveDelayWrong, pid);
+  const bool fabricate =
+      buffer.empty() && injection.fire(FaultKind::kReceiveExceedsSend, pid);
+  if (force_delay || (buffer.empty() && !fabricate)) {
+    co_await monitor.wait("empty");
+  }
+  if (!buffer.items.empty()) {
+    buffer.items.pop_front();
+  }
+  monitor.signal_exit("full");
+}
+
+sim::Process sim_producer(sim::Scheduler& scheduler, sim::SimMonitor& monitor,
+                          SimBuffer& buffer, trace::Pid pid, int operations,
+                          inject::InjectionController& injection,
+                          util::TimeNs in_monitor_ns, util::TimeNs think_ns,
+                          util::TimeNs initial_delay_ns) {
+  if (initial_delay_ns > 0) co_await scheduler.delay(initial_delay_ns);
+  for (int i = 0; i < operations; ++i) {
+    co_await sim_send(monitor, buffer, pid, i, injection, in_monitor_ns);
+    if (think_ns > 0) co_await scheduler.delay(think_ns);
+  }
+}
+
+sim::Process sim_consumer(sim::Scheduler& scheduler, sim::SimMonitor& monitor,
+                          SimBuffer& buffer, trace::Pid pid, int operations,
+                          inject::InjectionController& injection,
+                          util::TimeNs in_monitor_ns, util::TimeNs think_ns,
+                          util::TimeNs initial_delay_ns) {
+  if (initial_delay_ns > 0) co_await scheduler.delay(initial_delay_ns);
+  for (int i = 0; i < operations; ++i) {
+    co_await sim_receive(monitor, buffer, pid, injection, in_monitor_ns);
+    if (think_ns > 0) co_await scheduler.delay(think_ns);
+  }
+}
+
+namespace {
+
+sim::Op<> sim_acquire(sim::SimMonitor& monitor, std::int64_t& units,
+                      util::TimeNs in_monitor_ns) {
+  co_await monitor.enter("Acquire");
+  if (in_monitor_ns > 0) {
+    co_await monitor.scheduler().delay(in_monitor_ns);
+  }
+  if (units == 0) co_await monitor.wait("available");
+  --units;
+  monitor.exit();
+}
+
+sim::Op<> sim_release(sim::SimMonitor& monitor, std::int64_t& units,
+                      util::TimeNs in_monitor_ns) {
+  co_await monitor.enter("Release");
+  if (in_monitor_ns > 0) {
+    co_await monitor.scheduler().delay(in_monitor_ns);
+  }
+  ++units;
+  monitor.signal_exit("available");
+}
+
+}  // namespace
+
+sim::Process sim_allocator_client(sim::Scheduler& scheduler,
+                                  sim::SimMonitor& monitor,
+                                  std::int64_t& units, trace::Pid pid,
+                                  int iterations,
+                                  inject::InjectionController& injection,
+                                  util::TimeNs hold_ns,
+                                  util::TimeNs think_ns) {
+  constexpr util::TimeNs kInMonitorNs = 50'000;
+  for (int i = 0; i < iterations; ++i) {
+    // III.a: release a resource that was never acquired.
+    if (injection.fire(FaultKind::kReleaseBeforeAcquire, pid)) {
+      co_await sim_release(monitor, units, kInMonitorNs);
+    }
+    co_await sim_acquire(monitor, units, kInMonitorNs);
+    // III.c: acquire again while already holding.
+    if (injection.fire(FaultKind::kDoubleAcquireDeadlock, pid)) {
+      co_await sim_acquire(monitor, units, kInMonitorNs);
+    }
+    if (hold_ns > 0) co_await scheduler.delay(hold_ns);
+    // III.b: never release.
+    if (!injection.fire(FaultKind::kResourceNeverReleased, pid)) {
+      co_await sim_release(monitor, units, kInMonitorNs);
+    }
+    if (think_ns > 0) co_await scheduler.delay(think_ns);
+  }
+}
+
+namespace {
+
+struct TrialRig {
+  sim::Scheduler scheduler;
+  core::MonitorSpec spec;
+  std::unique_ptr<sim::SimMonitor> monitor;
+  std::unique_ptr<core::CollectingSink> sink;
+  std::unique_ptr<core::Detector> detector;
+  std::int64_t allocator_units = 0;
+  std::unique_ptr<SimBuffer> buffer;
+
+  TrialRig(MonitorType type, std::uint64_t seed,
+           const CoverageConfig& config,
+           inject::InjectionController& injection)
+      : scheduler(sim::Scheduler::Options{1000, sim::SchedulePolicy::kRandom,
+                                          seed}) {
+    if (type == MonitorType::kCommunicationCoordinator) {
+      spec = core::MonitorSpec::coordinator(
+          "cov-buffer", static_cast<std::int64_t>(config.buffer_capacity));
+    } else {
+      spec = core::MonitorSpec::allocator("cov-allocator");
+    }
+    spec.t_max = config.t_max;
+    spec.t_io = config.t_io;
+    spec.t_limit = config.t_limit;
+    spec.check_period = config.check_period;
+
+    monitor = std::make_unique<sim::SimMonitor>(spec, scheduler, injection);
+    sink = std::make_unique<core::CollectingSink>();
+    detector = std::make_unique<core::Detector>(spec, monitor->symbols(),
+                                                *sink);
+
+    if (type == MonitorType::kCommunicationCoordinator) {
+      buffer = std::make_unique<SimBuffer>();
+      buffer->capacity = config.buffer_capacity;
+      monitor->set_resource_gauge(
+          [state = buffer.get()] { return state->free_slots(); });
+    } else {
+      allocator_units = config.allocator_units;
+      monitor->set_resource_gauge([this] { return allocator_units; });
+    }
+    detector->initialize(monitor->snapshot());
+  }
+
+  void spawn_workload(MonitorType type, const CoverageConfig& config,
+                      inject::InjectionController& injection) {
+    if (type == MonitorType::kCommunicationCoordinator) {
+      const std::int64_t total =
+          static_cast<std::int64_t>(config.producers) * config.operations;
+      const std::int64_t per_consumer = total / config.consumers;
+      const std::int64_t remainder = total % config.consumers;
+      for (int p = 0; p < config.producers; ++p) {
+        scheduler.spawn(
+            p, sim_producer(scheduler, *monitor, *buffer, p,
+                            config.operations, injection,
+                            config.in_monitor_ns, config.producer_think_ns,
+                            config.producer_initial_delay_ns));
+      }
+      for (int c = 0; c < config.consumers; ++c) {
+        const auto quota =
+            static_cast<int>(per_consumer + (c == 0 ? remainder : 0));
+        scheduler.spawn(
+            100 + c, sim_consumer(scheduler, *monitor, *buffer, 100 + c,
+                                  quota, injection, config.in_monitor_ns,
+                                  config.consumer_think_ns));
+      }
+    } else {
+      const int clients = config.producers + config.consumers;
+      for (int w = 0; w < clients; ++w) {
+        scheduler.spawn(
+            w, sim_allocator_client(scheduler, *monitor, allocator_units, w,
+                                    config.operations / 2 + 1, injection,
+                                    config.producer_think_ns,
+                                    config.producer_think_ns));
+      }
+    }
+  }
+
+  void spawn_checker(const CoverageConfig& config) {
+    sim::CheckerOptions checker_options;
+    checker_options.max_checks = config.max_checks;
+    // Cover the longest timer horizon plus slack.
+    const util::TimeNs horizon =
+        std::max({spec.t_max, spec.t_io, spec.t_limit});
+    checker_options.min_checks =
+        static_cast<std::uint64_t>(horizon / spec.check_period) + 3;
+    // Harness tasks use pids below -1 (kNoPid is reserved).
+    scheduler.spawn(-100, sim::periodic_checker(scheduler, *monitor,
+                                                *detector, checker_options));
+  }
+};
+
+}  // namespace
+
+CoverageOutcome run_coverage_trial(core::FaultKind kind, std::uint64_t seed) {
+  return run_coverage_trial(kind, seed, CoverageConfig{});
+}
+
+namespace {
+
+CoverageOutcome run_one_attempt(core::FaultKind kind, std::uint64_t seed,
+                                const CoverageConfig& config,
+                                std::int64_t nth) {
+  const inject::CatalogEntry& entry = inject::catalog_entry(kind);
+
+  inject::ScriptedInjection::Plan plan;
+  plan.kind = kind;
+  plan.nth = nth;
+  plan.sticky = inject::is_sticky_fault(kind);
+  inject::ScriptedInjection injection(plan);
+
+  TrialRig rig(entry.exercised_on, seed, config, injection);
+  rig.spawn_workload(entry.exercised_on, config, injection);
+  rig.spawn_checker(config);
+  rig.scheduler.run(config.max_steps);
+  rig.scheduler.rethrow_any_failure();
+
+  CoverageOutcome outcome;
+  outcome.kind = kind;
+  outcome.injected = injection.fired();
+  outcome.injection_attempt = nth;
+  outcome.reports = rig.sink->reports();
+  outcome.total_reports = outcome.reports.size();
+  outcome.detected = inject::detected(entry, outcome.reports);
+  if (outcome.detected) {
+    util::TimeNs first = 0;
+    for (const auto& report : outcome.reports) {
+      const bool matches =
+          std::find(entry.detecting_rules.begin(),
+                    entry.detecting_rules.end(),
+                    report.rule) != entry.detecting_rules.end();
+      if (matches && (first == 0 || report.detected_at < first)) {
+        first = report.detected_at;
+      }
+    }
+    outcome.detection_check = static_cast<std::uint64_t>(
+        (first + rig.spec.check_period - 1) / rig.spec.check_period);
+  }
+  return outcome;
+}
+
+}  // namespace
+
+CoverageOutcome run_coverage_trial(core::FaultKind kind, std::uint64_t seed,
+                                   const CoverageConfig& config) {
+  constexpr std::int64_t kMaxAttempts = 12;
+  CoverageOutcome outcome;
+  for (std::int64_t nth = 1; nth <= kMaxAttempts; ++nth) {
+    outcome = run_one_attempt(kind, seed, config, nth);
+    // Detected, or the fault never even armed at this depth (no further
+    // opportunities exist) -> stop.
+    if (outcome.detected || !outcome.injected) break;
+  }
+  return outcome;
+}
+
+std::size_t run_fault_free_trial(core::MonitorType type, std::uint64_t seed) {
+  return run_fault_free_trial(type, seed, CoverageConfig{});
+}
+
+std::size_t run_fault_free_trial(core::MonitorType type, std::uint64_t seed,
+                                 const CoverageConfig& config) {
+  TrialRig rig(type, seed, config, inject::NullInjection::instance());
+  rig.spawn_workload(type, config, inject::NullInjection::instance());
+  rig.spawn_checker(config);
+  rig.scheduler.run(config.max_steps);
+  rig.scheduler.rethrow_any_failure();
+  return rig.sink->count();
+}
+
+
+FdTrialResult run_fd_trial(std::optional<core::FaultKind> kind,
+                           std::uint64_t seed) {
+  return run_fd_trial(kind, seed, CoverageConfig{});
+}
+
+FdTrialResult run_fd_trial(std::optional<core::FaultKind> kind,
+                           std::uint64_t seed, const CoverageConfig& config) {
+  const MonitorType type =
+      kind ? inject::catalog_entry(*kind).exercised_on
+           : MonitorType::kCommunicationCoordinator;
+
+  inject::ScriptedInjection::Plan plan;
+  plan.kind = kind.value_or(core::FaultKind::kEnterRequestLost);
+  plan.sticky = kind ? inject::is_sticky_fault(*kind) : false;
+  inject::ScriptedInjection scripted(plan);
+  inject::InjectionController& injection =
+      kind ? static_cast<inject::InjectionController&>(scripted)
+           : inject::NullInjection::instance();
+
+  TrialRig rig(type, seed, config, injection);
+  rig.monitor->log().set_retention(true);
+  rig.monitor->enable_state_trace();
+  rig.spawn_workload(type, config, injection);
+  rig.spawn_checker(config);
+  rig.scheduler.run(config.max_steps);
+  rig.scheduler.rethrow_any_failure();
+
+  FdTrialResult result;
+  result.injected = kind ? scripted.fired() : false;
+  result.st_reports = rig.sink->reports();
+
+  const auto events = rig.monitor->log().history();
+  result.event_count = events.size();
+  result.fd_reports = core::validate_fd_rules(
+      rig.spec, rig.monitor->symbols(), events, rig.monitor->state_trace(),
+      rig.scheduler.now());
+  return result;
+}
+
+}  // namespace robmon::wl

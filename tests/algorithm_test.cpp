@@ -1,0 +1,495 @@
+// Unit tests for the checking lists and Algorithms 1-3 over hand-crafted
+// event segments — each ST-Rule violated in isolation, plus correct
+// sequences that must pass silently.
+#include <gtest/gtest.h>
+
+#include "core/algorithms.hpp"
+#include "core/checking_lists.hpp"
+#include "core/detector.hpp"
+#include "core/fault.hpp"
+#include "core/monitor_spec.hpp"
+
+namespace robmon::core {
+namespace {
+
+using trace::EventRecord;
+using trace::SchedulingState;
+using trace::SymbolId;
+using util::kMillisecond;
+
+class ChecklistFixture : public ::testing::Test {
+ protected:
+  ChecklistFixture() {
+    spec_ = MonitorSpec::manager("m");
+    spec_.t_max = 50 * kMillisecond;
+    spec_.t_io = 100 * kMillisecond;
+    op_ = symbols_.intern("Op");
+    cond_ = symbols_.intern("cond");
+  }
+
+  std::size_t run1(const SchedulingState& prev, const SchedulingState& cur,
+                   const std::vector<EventRecord>& events,
+                   util::TimeNs now = 10 * kMillisecond) {
+    sink_.clear();
+    const CheckContext ctx = CheckContext::make(spec_, symbols_, now, sink_);
+    return run_algorithm1(ctx, prev, cur, events);
+  }
+
+  bool reported(RuleId rule) const { return sink_.any_with_rule(rule); }
+
+  MonitorSpec spec_;
+  trace::SymbolTable symbols_;
+  CollectingSink sink_;
+  SymbolId op_;
+  SymbolId cond_;
+};
+
+TEST_F(ChecklistFixture, FromStateSeedsLists) {
+  SchedulingState prev;
+  prev.entry_queue = {{2, op_, 100}};
+  prev.cond_queues = {{cond_, {{3, op_, 50}}}};
+  prev.running = 1;
+  prev.running_proc = op_;
+  prev.resources = 4;
+  const CheckingLists lists = CheckingLists::from_state(prev);
+  ASSERT_EQ(lists.enter_zero.size(), 1u);
+  EXPECT_EQ(lists.enter_zero.front().pid, 2);
+  ASSERT_EQ(lists.wait_cond.at(cond_).size(), 1u);
+  ASSERT_EQ(lists.running.size(), 1u);
+  EXPECT_EQ(lists.running[0].pid, 1);
+  EXPECT_EQ(lists.resource_no, 4);
+  EXPECT_TRUE(lists.pid_blocked(2));
+  EXPECT_TRUE(lists.pid_blocked(3));
+  EXPECT_FALSE(lists.pid_blocked(1));
+  EXPECT_TRUE(lists.pid_running(1));
+}
+
+TEST_F(ChecklistFixture, ListsMatchComparesPidsAndProcs) {
+  std::deque<ListEntry> rebuilt = {{1, op_, 0}, {2, op_, 0}};
+  std::vector<trace::QueueEntry> actual = {{1, op_, 5}, {2, op_, 9}};
+  EXPECT_TRUE(lists_match(rebuilt, actual));
+  actual[1].pid = 3;
+  EXPECT_FALSE(lists_match(rebuilt, actual));
+  actual.pop_back();
+  EXPECT_FALSE(lists_match(rebuilt, actual));
+}
+
+TEST_F(ChecklistFixture, EmptySegmentEmptyStatesIsClean) {
+  EXPECT_EQ(run1({}, {}, {}), 0u);
+}
+
+TEST_F(ChecklistFixture, EnterExitWithinSegmentIsClean) {
+  const std::vector<EventRecord> events = {
+      EventRecord::enter(1, op_, true, 1000),
+      EventRecord::signal_exit(1, op_, trace::kNoSymbol, false, 2000),
+  };
+  EXPECT_EQ(run1({}, {}, events), 0u);
+}
+
+TEST_F(ChecklistFixture, WaitHandoffToEntryHeadIsClean) {
+  SchedulingState prev;
+  prev.running = 1;
+  prev.running_proc = op_;
+  prev.entry_queue = {{2, op_, 500}};
+
+  const std::vector<EventRecord> events = {
+      EventRecord::wait(1, op_, cond_, 1000),
+  };
+
+  SchedulingState cur;
+  cur.running = 2;
+  cur.running_proc = op_;
+  cur.running_since = 1000;
+  cur.cond_queues = {{cond_, {{1, op_, 1000}}}};
+  EXPECT_EQ(run1(prev, cur, events), 0u);
+}
+
+TEST_F(ChecklistFixture, SignalHandoffToCondWaiterIsClean) {
+  SchedulingState prev;
+  prev.running = 1;
+  prev.running_proc = op_;
+  prev.cond_queues = {{cond_, {{2, op_, 500}}}};
+
+  const std::vector<EventRecord> events = {
+      EventRecord::signal_exit(1, op_, cond_, true, 1000),
+  };
+
+  SchedulingState cur;
+  cur.running = 2;
+  cur.running_proc = op_;
+  cur.running_since = 1000;
+  cur.cond_queues = {{cond_, {}}};
+  EXPECT_EQ(run1(prev, cur, events), 0u);
+}
+
+TEST_F(ChecklistFixture, St3cEnterWhileOccupied) {
+  const std::vector<EventRecord> events = {
+      EventRecord::enter(1, op_, true, 1000),
+      EventRecord::enter(2, op_, true, 1100),
+  };
+  SchedulingState cur;  // whatever follows, the replay already fails
+  cur.running = 1;
+  cur.running_proc = op_;
+  run1({}, cur, events);
+  EXPECT_TRUE(reported(RuleId::kSt3cEnterWhileOccupied));
+  EXPECT_TRUE(reported(RuleId::kSt3aMultipleRunning));
+}
+
+TEST_F(ChecklistFixture, St3dBlockedWhileFree) {
+  const std::vector<EventRecord> events = {
+      EventRecord::enter(1, op_, false, 1000),
+  };
+  SchedulingState cur;
+  cur.entry_queue = {{1, op_, 1000}};
+  run1({}, cur, events);
+  EXPECT_TRUE(reported(RuleId::kSt3dBlockedWhileFree));
+  EXPECT_FALSE(reported(RuleId::kSt1EntryQueueMismatch));
+}
+
+TEST_F(ChecklistFixture, St3bWaitFromNonRunner) {
+  const std::vector<EventRecord> events = {
+      EventRecord::wait(1, op_, cond_, 1000),
+  };
+  SchedulingState cur;
+  cur.cond_queues = {{cond_, {{1, op_, 1000}}}};
+  run1({}, cur, events);
+  EXPECT_TRUE(reported(RuleId::kSt3bRunnerNotSole));
+}
+
+TEST_F(ChecklistFixture, St4EventFromBlockedProcess) {
+  SchedulingState prev;
+  prev.running = 1;
+  prev.running_proc = op_;
+  prev.entry_queue = {{2, op_, 500}};
+  const std::vector<EventRecord> events = {
+      // p2 is on the entry queue and must not act.
+      EventRecord::wait(2, op_, cond_, 1000),
+  };
+  SchedulingState cur = prev;
+  run1(prev, cur, events);
+  EXPECT_TRUE(reported(RuleId::kSt4EventFromBlockedProcess));
+}
+
+TEST_F(ChecklistFixture, St1EntryQueueMismatch) {
+  SchedulingState prev;
+  prev.running = 1;
+  prev.running_proc = op_;
+  prev.entry_queue = {{2, op_, 500}};
+  SchedulingState cur = prev;
+  cur.entry_queue.clear();  // p2 vanished without being admitted
+  run1(prev, cur, {});
+  EXPECT_TRUE(reported(RuleId::kSt1EntryQueueMismatch));
+}
+
+TEST_F(ChecklistFixture, St2CondQueueMismatch) {
+  SchedulingState prev;
+  prev.running = 1;
+  prev.running_proc = op_;
+  prev.cond_queues = {{cond_, {{3, op_, 500}}}};
+  SchedulingState cur = prev;
+  cur.cond_queues[0].entries.clear();  // p3 vanished without a signal
+  run1(prev, cur, {});
+  EXPECT_TRUE(reported(RuleId::kSt2CondQueueMismatch));
+}
+
+TEST_F(ChecklistFixture, RunningMismatch) {
+  SchedulingState cur;
+  cur.running = 7;
+  cur.running_proc = op_;
+  run1({}, cur, {});
+  EXPECT_TRUE(reported(RuleId::kStRunningMismatch));
+}
+
+TEST_F(ChecklistFixture, SignalClaimsResumeFromEmptyQueue) {
+  SchedulingState prev;
+  prev.running = 1;
+  prev.running_proc = op_;
+  const std::vector<EventRecord> events = {
+      EventRecord::signal_exit(1, op_, cond_, true, 1000),  // flag=1, no waiter
+  };
+  run1(prev, {}, events);
+  EXPECT_TRUE(reported(RuleId::kSt2CondQueueMismatch));
+}
+
+TEST_F(ChecklistFixture, St5RunningExceedsTmax) {
+  SchedulingState cur;
+  cur.running = 1;
+  cur.running_proc = op_;
+  cur.running_since = 0;
+  run1(cur, cur, {}, /*now=*/60 * kMillisecond);  // Tmax = 50ms
+  EXPECT_TRUE(reported(RuleId::kSt5ResidenceExceedsTmax));
+}
+
+TEST_F(ChecklistFixture, St5CondWaitExceedsTmax) {
+  SchedulingState state;
+  state.running = 1;
+  state.running_proc = op_;
+  state.running_since = 55 * kMillisecond;
+  state.cond_queues = {{cond_, {{2, op_, 0}}}};
+  run1(state, state, {}, /*now=*/60 * kMillisecond);
+  EXPECT_TRUE(reported(RuleId::kSt5ResidenceExceedsTmax));
+}
+
+TEST_F(ChecklistFixture, St6EntryWaitExceedsTio) {
+  SchedulingState state;
+  state.running = 1;
+  state.running_proc = op_;
+  state.running_since = 100 * kMillisecond;
+  state.entry_queue = {{2, op_, 0}};
+  run1(state, state, {}, /*now=*/110 * kMillisecond);  // Tio = 100ms
+  EXPECT_TRUE(reported(RuleId::kSt6EntryWaitExceedsTio));
+}
+
+TEST_F(ChecklistFixture, FreshWaitersUnderTimersAreClean) {
+  SchedulingState state;
+  state.running = 1;
+  state.running_proc = op_;
+  state.running_since = 9 * kMillisecond;
+  state.entry_queue = {{2, op_, 9 * kMillisecond}};
+  EXPECT_EQ(run1(state, state, {}, /*now=*/10 * kMillisecond), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm-2 (communication coordinator).
+// ---------------------------------------------------------------------------
+
+class Algorithm2Fixture : public ::testing::Test {
+ protected:
+  Algorithm2Fixture() {
+    spec_ = MonitorSpec::coordinator("buf", 2);
+    send_ = symbols_.intern("Send");
+    receive_ = symbols_.intern("Receive");
+    full_ = symbols_.intern("full");
+    empty_ = symbols_.intern("empty");
+  }
+
+  std::size_t run2(std::int64_t prev_resources, std::int64_t cur_resources,
+                   const std::vector<EventRecord>& events) {
+    sink_.clear();
+    SchedulingState prev;
+    prev.resources = prev_resources;
+    SchedulingState cur;
+    cur.resources = cur_resources;
+    const CheckContext ctx =
+        CheckContext::make(spec_, symbols_, 10 * kMillisecond, sink_);
+    return run_algorithm2(ctx, prev, cur, events, counters_);
+  }
+
+  bool reported(RuleId rule) const { return sink_.any_with_rule(rule); }
+
+  MonitorSpec spec_;
+  trace::SymbolTable symbols_;
+  CollectingSink sink_;
+  ResourceCounters counters_;
+  SymbolId send_, receive_, full_, empty_;
+};
+
+TEST_F(Algorithm2Fixture, BalancedTrafficIsClean) {
+  const std::vector<EventRecord> events = {
+      EventRecord::signal_exit(1, send_, empty_, false, 100),
+      EventRecord::signal_exit(2, receive_, full_, false, 200),
+      EventRecord::signal_exit(1, send_, empty_, false, 300),
+  };
+  EXPECT_EQ(run2(2, 1, events), 0u);
+  EXPECT_EQ(counters_.sends, 2);
+  EXPECT_EQ(counters_.receives, 1);
+}
+
+TEST_F(Algorithm2Fixture, OverfillReportsSendExceedsCapacity) {
+  const std::vector<EventRecord> events = {
+      EventRecord::signal_exit(1, send_, empty_, false, 100),
+      EventRecord::signal_exit(1, send_, empty_, false, 200),
+      EventRecord::signal_exit(1, send_, empty_, false, 300),  // third: over
+  };
+  run2(2, -1, events);
+  EXPECT_TRUE(reported(RuleId::kSt7aSendExceedsCapacity));
+}
+
+TEST_F(Algorithm2Fixture, PhantomReceiveReportsReceiveExceedsSend) {
+  const std::vector<EventRecord> events = {
+      EventRecord::signal_exit(2, receive_, full_, false, 100),
+  };
+  run2(2, 3, events);
+  EXPECT_TRUE(reported(RuleId::kSt7aReceiveExceedsSend));
+}
+
+TEST_F(Algorithm2Fixture, SendDelayedWhenNotFull) {
+  const std::vector<EventRecord> events = {
+      EventRecord::wait(1, send_, full_, 100),  // 2 slots free, not full
+  };
+  run2(2, 2, events);
+  EXPECT_TRUE(reported(RuleId::kSt7cSendDelayedWhenNotFull));
+}
+
+TEST_F(Algorithm2Fixture, SendDelayedWhenFullIsLegitimate) {
+  const std::vector<EventRecord> events = {
+      EventRecord::wait(1, send_, full_, 100),
+  };
+  EXPECT_EQ(run2(0, 0, events), 0u);
+}
+
+TEST_F(Algorithm2Fixture, ReceiveDelayedWhenNotEmpty) {
+  const std::vector<EventRecord> events = {
+      EventRecord::wait(2, receive_, empty_, 100),  // 1 slot free: not empty
+  };
+  run2(1, 1, events);
+  EXPECT_TRUE(reported(RuleId::kSt7dReceiveDelayedWhenNotEmpty));
+}
+
+TEST_F(Algorithm2Fixture, ReceiveDelayedWhenEmptyIsLegitimate) {
+  const std::vector<EventRecord> events = {
+      EventRecord::wait(2, receive_, empty_, 100),
+  };
+  EXPECT_EQ(run2(2, 2, events), 0u);
+}
+
+TEST_F(Algorithm2Fixture, BalanceMismatchReported) {
+  const std::vector<EventRecord> events = {
+      EventRecord::signal_exit(1, send_, empty_, false, 100),
+  };
+  run2(2, 2, events);  // send happened but R# did not move
+  EXPECT_TRUE(reported(RuleId::kSt7bResourceBalanceMismatch));
+}
+
+TEST_F(Algorithm2Fixture, CumulativeCountersSpanChecks) {
+  run2(2, 1, {EventRecord::signal_exit(1, send_, empty_, false, 100)});
+  run2(1, 0, {EventRecord::signal_exit(1, send_, empty_, false, 200)});
+  EXPECT_EQ(counters_.sends, 2);
+  // Third send in a third segment exceeds capacity cumulatively.
+  run2(0, -1, {EventRecord::signal_exit(1, send_, empty_, false, 300)});
+  EXPECT_TRUE(reported(RuleId::kSt7aSendExceedsCapacity));
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm-3 (resource allocator).
+// ---------------------------------------------------------------------------
+
+class Algorithm3Fixture : public ::testing::Test {
+ protected:
+  Algorithm3Fixture() {
+    spec_ = MonitorSpec::allocator("alloc");
+    spec_.t_limit = 100 * kMillisecond;
+    acquire_ = symbols_.intern("Acquire");
+    release_ = symbols_.intern("Release");
+    available_ = symbols_.intern("available");
+  }
+
+  std::size_t run3(const std::vector<EventRecord>& events,
+                   util::TimeNs now = 10 * kMillisecond) {
+    sink_.clear();
+    const CheckContext ctx = CheckContext::make(spec_, symbols_, now, sink_);
+    return run_algorithm3(ctx, events, requests_);
+  }
+
+  bool reported(RuleId rule) const { return sink_.any_with_rule(rule); }
+
+  MonitorSpec spec_;
+  trace::SymbolTable symbols_;
+  CollectingSink sink_;
+  RequestList requests_;
+  SymbolId acquire_, release_, available_;
+};
+
+TEST_F(Algorithm3Fixture, AcquireReleaseCycleIsClean) {
+  const std::vector<EventRecord> events = {
+      EventRecord::enter(1, acquire_, true, 1000),
+      EventRecord::signal_exit(1, acquire_, trace::kNoSymbol, false, 1100),
+      EventRecord::enter(1, release_, true, 2000),
+      EventRecord::signal_exit(1, release_, available_, false, 2100),
+  };
+  EXPECT_EQ(run3(events), 0u);
+  EXPECT_TRUE(requests_.entries.empty());
+}
+
+TEST_F(Algorithm3Fixture, DuplicateAcquireReported) {
+  const std::vector<EventRecord> events = {
+      EventRecord::enter(1, acquire_, true, 1000),
+      EventRecord::enter(1, acquire_, true, 2000),
+  };
+  run3(events);
+  EXPECT_TRUE(reported(RuleId::kSt8aDuplicateAcquire));
+}
+
+TEST_F(Algorithm3Fixture, ReleaseWithoutAcquireReported) {
+  const std::vector<EventRecord> events = {
+      EventRecord::enter(1, release_, true, 1000),
+  };
+  run3(events);
+  EXPECT_TRUE(reported(RuleId::kSt8bReleaseWithoutAcquire));
+}
+
+TEST_F(Algorithm3Fixture, HoldBeyondTlimitReported) {
+  run3({EventRecord::enter(1, acquire_, true, 0)},
+       /*now=*/50 * kMillisecond);
+  EXPECT_FALSE(reported(RuleId::kSt8cHoldExceedsTlimit));
+  run3({}, /*now=*/150 * kMillisecond);  // Tlimit = 100ms
+  EXPECT_TRUE(reported(RuleId::kSt8cHoldExceedsTlimit));
+}
+
+TEST_F(Algorithm3Fixture, RequestListPersistsAcrossChecks) {
+  run3({EventRecord::enter(1, acquire_, true, 1000)});
+  ASSERT_EQ(requests_.entries.size(), 1u);
+  run3({EventRecord::enter(1, release_, true, 2000),
+        EventRecord::signal_exit(1, release_, available_, false, 2100)});
+  EXPECT_TRUE(requests_.entries.empty());
+  EXPECT_EQ(sink_.count(), 0u);
+}
+
+TEST_F(Algorithm3Fixture, DistinctPidsMayHoldConcurrently) {
+  const std::vector<EventRecord> events = {
+      EventRecord::enter(1, acquire_, true, 1000),
+      EventRecord::enter(2, acquire_, true, 1100),
+  };
+  EXPECT_EQ(run3(events), 0u);
+  EXPECT_EQ(requests_.entries.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Detector dispatch.
+// ---------------------------------------------------------------------------
+
+TEST(DetectorTest, DispatchesByMonitorType) {
+  trace::SymbolTable symbols;
+  CollectingSink sink;
+  MonitorSpec spec = MonitorSpec::coordinator("buf", 2);
+  Detector detector(spec, symbols, sink);
+  detector.initialize({});
+  const SymbolId send = symbols.intern(spec.send_procedure);
+  const SymbolId empty = symbols.intern(spec.empty_condition);
+
+  SchedulingState prev;  // initialize() state
+  prev.resources = 2;
+  detector.initialize(prev);
+
+  SchedulingState cur;
+  cur.resources = 1;
+  const auto stats = detector.check(
+      {EventRecord::enter(1, send, true, 1000),
+       EventRecord::signal_exit(1, send, empty, false, 1100)},
+      cur, 10 * kMillisecond);
+  EXPECT_EQ(stats.events, 2u);
+  EXPECT_EQ(stats.violations, 0u);
+  EXPECT_EQ(detector.checks_run(), 1u);
+  EXPECT_EQ(detector.counters().sends, 1);
+}
+
+TEST(DetectorTest, TracksTotalsAcrossChecks) {
+  trace::SymbolTable symbols;
+  CollectingSink sink;
+  MonitorSpec spec = MonitorSpec::manager("m");
+  Detector detector(spec, symbols, sink);
+  detector.initialize({});
+  const SymbolId op = symbols.intern("Op");
+
+  detector.check({EventRecord::enter(1, op, true, 100),
+                  EventRecord::signal_exit(1, op, trace::kNoSymbol, false,
+                                           200)},
+                 {}, 1 * kMillisecond);
+  detector.check({}, {}, 2 * kMillisecond);
+  EXPECT_EQ(detector.checks_run(), 2u);
+  EXPECT_EQ(detector.events_processed(), 2u);
+  EXPECT_EQ(detector.total_violations(), 0u);
+}
+
+}  // namespace
+}  // namespace robmon::core

@@ -1,0 +1,210 @@
+// Tests for the declarative FD-Rule validator (Section 3.2) and the paper's
+// equivalence claim between the FD-Rules and the ST-Rule-based interval
+// checking: on T=1 histories (state recorded after every event),
+//   * fault-free runs satisfy every FD-Rule;
+//   * injected faults violate at least one FD-Rule whenever the interval
+//     checking detects them.
+#include <gtest/gtest.h>
+
+#include "core/fd_rules.hpp"
+#include "core/monitor_spec.hpp"
+#include "workloads/sim_scenarios.hpp"
+
+namespace robmon::wl {
+namespace {
+
+using core::FaultKind;
+using core::MonitorSpec;
+using core::RuleId;
+using trace::EventRecord;
+using trace::SchedulingState;
+
+// --- Direct unit tests over hand-crafted histories. -------------------------
+
+class FdRulesFixture : public ::testing::Test {
+ protected:
+  FdRulesFixture() {
+    spec_ = MonitorSpec::manager("m");
+    spec_.t_max = 50 * util::kMillisecond;
+    spec_.t_io = 100 * util::kMillisecond;
+    op_ = symbols_.intern("Op");
+    cond_ = symbols_.intern("cond");
+  }
+
+  std::vector<core::FaultReport> validate(
+      const std::vector<EventRecord>& events,
+      const std::vector<SchedulingState>& states,
+      util::TimeNs final_time = 10 * util::kMillisecond) {
+    return core::validate_fd_rules(spec_, symbols_, events, states,
+                                   final_time);
+  }
+
+  static bool has_rule(const std::vector<core::FaultReport>& reports,
+                       RuleId rule) {
+    for (const auto& report : reports) {
+      if (report.rule == rule) return true;
+    }
+    return false;
+  }
+
+  MonitorSpec spec_;
+  trace::SymbolTable symbols_;
+  trace::SymbolId op_;
+  trace::SymbolId cond_;
+};
+
+TEST_F(FdRulesFixture, RejectsMisalignedStates) {
+  EXPECT_THROW(validate({EventRecord::enter(1, op_, true, 100)}, {}),
+               std::invalid_argument);
+}
+
+TEST_F(FdRulesFixture, CleanEnterExit) {
+  SchedulingState empty;
+  SchedulingState running;
+  running.running = 1;
+  running.running_proc = op_;
+  running.running_since = 100;
+  const auto reports =
+      validate({EventRecord::enter(1, op_, true, 100),
+                EventRecord::signal_exit(1, op_, trace::kNoSymbol, false,
+                                         200)},
+               {empty, running, empty});
+  EXPECT_TRUE(reports.empty());
+}
+
+TEST_F(FdRulesFixture, Fd1aEnterWhileOccupied) {
+  SchedulingState occupied;
+  occupied.running = 1;
+  occupied.running_proc = op_;
+  SchedulingState both = occupied;  // impl only tracks one owner
+  const auto reports = validate({EventRecord::enter(2, op_, true, 100)},
+                                {occupied, both});
+  EXPECT_TRUE(has_rule(reports, RuleId::kFd1aMutualExclusion));
+}
+
+TEST_F(FdRulesFixture, Fd1dOperationWithoutEnter) {
+  SchedulingState empty;
+  SchedulingState after;
+  after.cond_queues = {{cond_, {{2, op_, 100}}}};
+  const auto reports =
+      validate({EventRecord::wait(2, op_, cond_, 100)}, {empty, after});
+  EXPECT_TRUE(has_rule(reports, RuleId::kFd1dOperateWithoutEnter));
+}
+
+TEST_F(FdRulesFixture, Fd3DelayedWhileFree) {
+  SchedulingState empty;
+  SchedulingState queued;
+  queued.entry_queue = {{2, op_, 100}};
+  const auto reports =
+      validate({EventRecord::enter(2, op_, false, 100)}, {empty, queued});
+  EXPECT_TRUE(has_rule(reports, RuleId::kFd3UnfairResponse));
+}
+
+TEST_F(FdRulesFixture, Fd4LostEntryRequest) {
+  SchedulingState running;
+  running.running = 1;
+  running.running_proc = op_;
+  // p2 blocks (flag=0) but the entry queue does not grow: lost.
+  const auto reports =
+      validate({EventRecord::enter(2, op_, false, 100)}, {running, running});
+  EXPECT_TRUE(has_rule(reports, RuleId::kFd4StarvationOrLoss));
+}
+
+TEST_F(FdRulesFixture, Fd4StarvationAtHorizon) {
+  SchedulingState state;
+  state.running = 1;
+  state.running_proc = op_;
+  state.running_since = 190 * util::kMillisecond;
+  state.entry_queue = {{2, op_, 0}};
+  // p2 enqueued at t=0; history closes past Tio with p2 still queued.
+  const auto reports =
+      validate({}, {state}, /*final_time=*/200 * util::kMillisecond);
+  EXPECT_TRUE(has_rule(reports, RuleId::kFd4StarvationOrLoss));
+}
+
+TEST_F(FdRulesFixture, Fd5aCondWaiterVanishes) {
+  SchedulingState with_waiter;
+  with_waiter.running = 1;
+  with_waiter.running_proc = op_;
+  with_waiter.cond_queues = {{cond_, {{3, op_, 50}}}};
+  SchedulingState without = with_waiter;
+  without.cond_queues[0].entries.clear();
+  // p1 exits without signalling, yet p3 left the condition queue.
+  const auto reports = validate(
+      {EventRecord::signal_exit(1, op_, trace::kNoSymbol, false, 100)},
+      {with_waiter, without});
+  EXPECT_TRUE(has_rule(reports, RuleId::kFd5aWrongWaitResume));
+}
+
+TEST_F(FdRulesFixture, Fd2ResidenceBeyondTmax) {
+  SchedulingState state;
+  state.running = 1;
+  state.running_proc = op_;
+  state.running_since = 0;
+  const auto reports =
+      validate({}, {state}, /*final_time=*/60 * util::kMillisecond);
+  EXPECT_TRUE(has_rule(reports, RuleId::kFd2NonTermination));
+}
+
+// --- Property tests over simulated histories (T=1 recording). ---------------
+
+class FdSoundnessTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FdSoundnessTest, FaultFreeHistorySatisfiesAllRules) {
+  const FdTrialResult result = run_fd_trial(std::nullopt, GetParam());
+  EXPECT_GT(result.event_count, 0u);
+  EXPECT_TRUE(result.st_reports.empty());
+  EXPECT_TRUE(result.fd_reports.empty())
+      << "first FD violation: "
+      << (result.fd_reports.empty()
+              ? ""
+              : std::string(core::to_string(result.fd_reports[0].rule)) +
+                    ": " + result.fd_reports[0].message);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FdSoundnessTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+using AgreementParam = std::tuple<core::FaultKind, std::uint64_t>;
+
+class FdAgreementTest : public ::testing::TestWithParam<AgreementParam> {};
+
+// The paper argues FD-Rule violations and ST-Rule violations coincide.  We
+// test the direction that is well-defined on recorded histories: whenever
+// the interval checking reported something, the full-history FD validation
+// must also report something (FD sees strictly more information).
+TEST_P(FdAgreementTest, StDetectionImpliesFdDetection) {
+  const auto [kind, seed] = GetParam();
+  const FdTrialResult result = run_fd_trial(kind, seed);
+  if (!result.st_reports.empty()) {
+    EXPECT_FALSE(result.fd_reports.empty())
+        << "interval checking flagged " << core::to_string(kind)
+        << " but FD validation saw nothing";
+  }
+}
+
+std::vector<AgreementParam> agreement_params() {
+  std::vector<AgreementParam> params;
+  for (const core::FaultKind kind : core::all_fault_kinds()) {
+    params.emplace_back(kind, 1);
+    params.emplace_back(kind, 2);
+  }
+  return params;
+}
+
+std::string agreement_param_name(
+    const ::testing::TestParamInfo<AgreementParam>& info) {
+  const auto [kind, seed] = info.param;
+  std::string name(core::to_string(kind));
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name + "_seed" + std::to_string(seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, FdAgreementTest,
+                         ::testing::ValuesIn(agreement_params()),
+                         agreement_param_name);
+
+}  // namespace
+}  // namespace robmon::wl

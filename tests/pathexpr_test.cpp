@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "pathexpr/automaton.hpp"
+#include "pathexpr/matcher.hpp"
+#include "pathexpr/parser.hpp"
+
+namespace robmon::pathexpr {
+namespace {
+
+bool accepts(const Dfa& dfa, const std::vector<std::string>& word) {
+  StateId state = dfa.start;
+  for (const auto& symbol : word) {
+    const auto index = dfa.symbol_index(symbol);
+    if (index < 0) return false;
+    state = dfa.next(state, index);
+    if (state == kDeadState) return false;
+  }
+  return dfa.accepting[static_cast<std::size_t>(state)];
+}
+
+TEST(ParserTest, SingleName) {
+  const auto ast = parse("Acquire");
+  EXPECT_EQ(to_string(*ast), "Acquire");
+}
+
+TEST(ParserTest, SequenceAndSelection) {
+  const auto ast = parse("A ; B , C");
+  // ',' binds looser than ';'.
+  EXPECT_EQ(to_string(*ast), "((A ; B) , C)");
+}
+
+TEST(ParserTest, PostfixOperators) {
+  EXPECT_EQ(to_string(*parse("A*")), "A*");
+  EXPECT_EQ(to_string(*parse("A+")), "A+");
+  EXPECT_EQ(to_string(*parse("A?")), "A?");
+  EXPECT_EQ(to_string(*parse("(A ; B)*")), "(A ; B)*");
+}
+
+TEST(ParserTest, PathEndBrackets) {
+  const auto ast = parse("path (Acquire ; Release)* end");
+  EXPECT_EQ(to_string(*ast), "(Acquire ; Release)*");
+}
+
+TEST(ParserTest, RejectsMalformedInput) {
+  EXPECT_THROW(parse(""), ParseError);
+  EXPECT_THROW(parse("A ;"), ParseError);
+  EXPECT_THROW(parse("(A"), ParseError);
+  EXPECT_THROW(parse("A )"), ParseError);
+  EXPECT_THROW(parse("path A"), ParseError);   // missing end
+  EXPECT_THROW(parse("*A"), ParseError);
+  EXPECT_THROW(parse("A B"), ParseError);      // juxtaposition not allowed
+  EXPECT_THROW(parse("A @ B"), ParseError);    // bad character
+}
+
+TEST(ParserTest, ErrorCarriesOffset) {
+  try {
+    parse("A ; @");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& error) {
+    EXPECT_EQ(error.offset(), 4u);
+  }
+}
+
+TEST(AstTest, AlphabetFirstSeenOrder) {
+  const auto ast = parse("B ; A ; B ; C");
+  const auto names = alphabet(*ast);
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "B");
+  EXPECT_EQ(names[1], "A");
+  EXPECT_EQ(names[2], "C");
+}
+
+TEST(AutomatonTest, AcquireReleaseStar) {
+  const Dfa dfa = compile("(Acquire ; Release)*");
+  EXPECT_TRUE(accepts(dfa, {}));
+  EXPECT_TRUE(accepts(dfa, {"Acquire", "Release"}));
+  EXPECT_TRUE(accepts(dfa, {"Acquire", "Release", "Acquire", "Release"}));
+  EXPECT_FALSE(accepts(dfa, {"Release"}));
+  EXPECT_FALSE(accepts(dfa, {"Acquire", "Acquire"}));
+  EXPECT_FALSE(accepts(dfa, {"Acquire"}));  // incomplete (not accepting)
+}
+
+TEST(AutomatonTest, Selection) {
+  const Dfa dfa = compile("A , B");
+  EXPECT_TRUE(accepts(dfa, {"A"}));
+  EXPECT_TRUE(accepts(dfa, {"B"}));
+  EXPECT_FALSE(accepts(dfa, {"A", "B"}));
+  EXPECT_FALSE(accepts(dfa, {}));
+}
+
+TEST(AutomatonTest, PlusRequiresOne) {
+  const Dfa dfa = compile("A+");
+  EXPECT_FALSE(accepts(dfa, {}));
+  EXPECT_TRUE(accepts(dfa, {"A"}));
+  EXPECT_TRUE(accepts(dfa, {"A", "A", "A"}));
+}
+
+TEST(AutomatonTest, Optional) {
+  const Dfa dfa = compile("A? ; B");
+  EXPECT_TRUE(accepts(dfa, {"B"}));
+  EXPECT_TRUE(accepts(dfa, {"A", "B"}));
+  EXPECT_FALSE(accepts(dfa, {"A"}));
+  EXPECT_FALSE(accepts(dfa, {"A", "A", "B"}));
+}
+
+TEST(AutomatonTest, NestedExpression) {
+  const Dfa dfa = compile("(A ; (B , C))* ; D");
+  EXPECT_TRUE(accepts(dfa, {"D"}));
+  EXPECT_TRUE(accepts(dfa, {"A", "B", "D"}));
+  EXPECT_TRUE(accepts(dfa, {"A", "C", "A", "B", "D"}));
+  EXPECT_FALSE(accepts(dfa, {"A", "D"}));
+}
+
+TEST(AutomatonTest, MinimizationPreservesLanguage) {
+  for (const std::string& expression :
+       {"(Acquire ; Release)*", "A , (B ; C)", "(A ; B)+ , C?",
+        "((A , B) ; C)*", "A? ; B? ; C?"}) {
+    const NodePtr ast = parse(expression);
+    const Dfa raw = determinize(build_nfa(*ast));
+    const Dfa minimal = minimize(raw);
+    EXPECT_LE(minimal.state_count, raw.state_count) << expression;
+    EXPECT_TRUE(equivalent_up_to(raw, minimal, 8)) << expression;
+  }
+}
+
+TEST(AutomatonTest, MinimizedAcquireReleaseHasTwoStates) {
+  const Dfa dfa = compile("(Acquire ; Release)*");
+  EXPECT_EQ(dfa.state_count, 2);
+}
+
+TEST(MatcherTest, EnforcesAllocatorProtocol) {
+  const CallOrderSpec spec("(Acquire ; Release)*");
+  Matcher matcher = spec.matcher();
+  EXPECT_TRUE(matcher.at_accepting());  // empty history is complete
+  EXPECT_EQ(matcher.advance("Acquire"), MatchResult::kOk);
+  EXPECT_FALSE(matcher.at_accepting());
+  EXPECT_EQ(matcher.advance("Release"), MatchResult::kOk);
+  EXPECT_TRUE(matcher.at_accepting());
+}
+
+TEST(MatcherTest, ReleaseFirstIsViolation) {
+  const CallOrderSpec spec("(Acquire ; Release)*");
+  Matcher matcher = spec.matcher();
+  EXPECT_EQ(matcher.advance("Release"), MatchResult::kViolation);
+}
+
+TEST(MatcherTest, DoubleAcquireIsViolation) {
+  const CallOrderSpec spec("(Acquire ; Release)*");
+  Matcher matcher = spec.matcher();
+  EXPECT_EQ(matcher.advance("Acquire"), MatchResult::kOk);
+  EXPECT_EQ(matcher.advance("Acquire"), MatchResult::kViolation);
+}
+
+TEST(MatcherTest, FreezesAfterViolationUntilReset) {
+  const CallOrderSpec spec("(Acquire ; Release)*");
+  Matcher matcher = spec.matcher();
+  EXPECT_EQ(matcher.advance("Release"), MatchResult::kViolation);
+  EXPECT_EQ(matcher.advance("Acquire"), MatchResult::kViolation);
+  EXPECT_FALSE(matcher.viable());
+  matcher.reset();
+  EXPECT_EQ(matcher.advance("Acquire"), MatchResult::kOk);
+}
+
+TEST(MatcherTest, UnconstrainedNamesPassThrough) {
+  const CallOrderSpec spec("(Acquire ; Release)*");
+  Matcher matcher = spec.matcher();
+  EXPECT_EQ(matcher.advance("Status"), MatchResult::kUnconstrained);
+  EXPECT_EQ(matcher.advance("Acquire"), MatchResult::kOk);
+  EXPECT_EQ(matcher.advance("Status"), MatchResult::kUnconstrained);
+  EXPECT_EQ(matcher.advance("Release"), MatchResult::kOk);
+}
+
+TEST(MatcherTest, DefaultMatcherUnconstrained) {
+  Matcher matcher;
+  EXPECT_EQ(matcher.advance("anything"), MatchResult::kUnconstrained);
+  EXPECT_FALSE(matcher.at_accepting());
+}
+
+TEST(MatcherTest, ThrowsOnBadExpression) {
+  EXPECT_THROW(CallOrderSpec("(((("), ParseError);
+}
+
+}  // namespace
+}  // namespace robmon::pathexpr

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "sync/gate.hpp"
+#include "sync/semaphore.hpp"
+#include "sync/spinlock.hpp"
+
+namespace robmon::sync {
+namespace {
+
+TEST(SemaphoreTest, InitialPermits) {
+  Semaphore sem(2);
+  EXPECT_TRUE(sem.try_acquire());
+  EXPECT_TRUE(sem.try_acquire());
+  EXPECT_FALSE(sem.try_acquire());
+}
+
+TEST(SemaphoreTest, ReleaseWakesAcquirer) {
+  Semaphore sem(0);
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    EXPECT_EQ(sem.acquire(), AcquireResult::kAcquired);
+    acquired.store(true);
+  });
+  EXPECT_FALSE(acquired.load());
+  sem.release();
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+}
+
+TEST(SemaphoreTest, TimedAcquireTimesOut) {
+  Semaphore sem(0);
+  EXPECT_EQ(sem.timed_acquire(1'000'000), AcquireResult::kTimeout);
+}
+
+TEST(SemaphoreTest, TimedAcquireSucceedsWithPermit) {
+  Semaphore sem(1);
+  EXPECT_EQ(sem.timed_acquire(1'000'000), AcquireResult::kAcquired);
+}
+
+TEST(SemaphoreTest, PoisonReleasesWaiters) {
+  Semaphore sem(0);
+  std::vector<std::thread> waiters;
+  std::atomic<int> poisoned{0};
+  for (int i = 0; i < 4; ++i) {
+    waiters.emplace_back([&] {
+      if (sem.acquire() == AcquireResult::kPoisoned) poisoned.fetch_add(1);
+    });
+  }
+  sem.poison();
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(poisoned.load(), 4);
+  // Future acquires also fail fast.
+  EXPECT_EQ(sem.acquire(), AcquireResult::kPoisoned);
+  EXPECT_TRUE(sem.poisoned());
+}
+
+TEST(SemaphoreTest, MultiPermitRelease) {
+  Semaphore sem(0);
+  sem.release(3);
+  EXPECT_EQ(sem.available(), 3);
+  EXPECT_TRUE(sem.try_acquire());
+  EXPECT_TRUE(sem.try_acquire());
+  EXPECT_TRUE(sem.try_acquire());
+  EXPECT_FALSE(sem.try_acquire());
+}
+
+TEST(BinarySemaphoreTest, HandoffProtocol) {
+  BinarySemaphore sem;
+  std::thread receiver([&] {
+    EXPECT_EQ(sem.acquire(), AcquireResult::kAcquired);
+  });
+  sem.release();
+  receiver.join();
+}
+
+TEST(SpinLockTest, MutualExclusionUnderContention) {
+  SpinLock lock;
+  std::int64_t counter = 0;
+  constexpr int kThreads = 4;
+  constexpr int kIterations = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIterations; ++i) {
+        std::lock_guard<SpinLock> guard(lock);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, kThreads * kIterations);
+}
+
+TEST(SpinLockTest, TryLock) {
+  SpinLock lock;
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(CheckerGateTest, SharedHoldersCoexist) {
+  CheckerGate gate;
+  gate.enter_shared();
+  gate.enter_shared();
+  gate.exit_shared();
+  gate.exit_shared();
+}
+
+TEST(CheckerGateTest, ExclusiveWaitsForShared) {
+  CheckerGate gate;
+  gate.enter_shared();
+  std::atomic<bool> exclusive_held{false};
+  std::thread checker([&] {
+    gate.enter_exclusive();
+    exclusive_held.store(true);
+    gate.exit_exclusive();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(exclusive_held.load());
+  gate.exit_shared();
+  checker.join();
+  EXPECT_TRUE(exclusive_held.load());
+}
+
+TEST(CheckerGateTest, WriterPriorityBlocksNewReaders) {
+  CheckerGate gate;
+  gate.enter_shared();
+  std::atomic<bool> exclusive_done{false};
+  std::atomic<bool> second_reader_in{false};
+  std::thread checker([&] {
+    gate.enter_exclusive();
+    exclusive_done.store(true);
+    gate.exit_exclusive();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  std::thread reader([&] {
+    gate.enter_shared();
+    second_reader_in.store(true);
+    gate.exit_shared();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  // The checker is waiting, so the new reader must queue behind it.
+  EXPECT_FALSE(second_reader_in.load());
+  EXPECT_FALSE(exclusive_done.load());
+  gate.exit_shared();
+  checker.join();
+  reader.join();
+  EXPECT_TRUE(exclusive_done.load());
+  EXPECT_TRUE(second_reader_in.load());
+}
+
+TEST(CheckerGateTest, StressMixedTraffic) {
+  CheckerGate gate;
+  std::atomic<int> inside_shared{0};
+  std::atomic<int> inside_exclusive{0};
+  std::atomic<bool> violation{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 500; ++i) {
+        CheckerGate::SharedScope scope(gate);
+        inside_shared.fetch_add(1);
+        if (inside_exclusive.load() != 0) violation.store(true);
+        inside_shared.fetch_sub(1);
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    for (int i = 0; i < 100; ++i) {
+      CheckerGate::ExclusiveScope scope(gate);
+      inside_exclusive.fetch_add(1);
+      if (inside_shared.load() != 0) violation.store(true);
+      inside_exclusive.fetch_sub(1);
+    }
+  });
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(violation.load());
+}
+
+}  // namespace
+}  // namespace robmon::sync

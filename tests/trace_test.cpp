@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "trace/codec.hpp"
+#include "trace/event.hpp"
+#include "trace/event_log.hpp"
+#include "trace/snapshot.hpp"
+
+namespace robmon::trace {
+namespace {
+
+TEST(SymbolTableTest, InternIsIdempotent) {
+  SymbolTable symbols;
+  const SymbolId send = symbols.intern("Send");
+  const SymbolId receive = symbols.intern("Receive");
+  EXPECT_NE(send, receive);
+  EXPECT_EQ(symbols.intern("Send"), send);
+  EXPECT_EQ(symbols.name(send), "Send");
+  EXPECT_EQ(symbols.size(), 2u);
+}
+
+TEST(SymbolTableTest, FindWithoutIntern) {
+  SymbolTable symbols;
+  EXPECT_EQ(symbols.find("missing"), kNoSymbol);
+  const SymbolId id = symbols.intern("present");
+  EXPECT_EQ(symbols.find("present"), id);
+}
+
+TEST(SymbolTableTest, NoSymbolRendersDash) {
+  SymbolTable symbols;
+  EXPECT_EQ(symbols.name(kNoSymbol), "-");
+}
+
+TEST(SymbolTableTest, UnknownIdThrows) {
+  SymbolTable symbols;
+  EXPECT_THROW(symbols.name(7), std::out_of_range);
+}
+
+TEST(EventTest, FactoryFieldAssignment) {
+  const auto enter = EventRecord::enter(3, 1, true, 500);
+  EXPECT_EQ(enter.kind, EventKind::kEnter);
+  EXPECT_EQ(enter.pid, 3);
+  EXPECT_EQ(enter.proc, 1);
+  EXPECT_TRUE(enter.flag);
+  EXPECT_EQ(enter.time, 500);
+
+  const auto wait = EventRecord::wait(4, 1, 2, 600);
+  EXPECT_EQ(wait.kind, EventKind::kWait);
+  EXPECT_EQ(wait.cond, 2);
+
+  const auto sigexit = EventRecord::signal_exit(5, 1, 2, true, 700);
+  EXPECT_EQ(sigexit.kind, EventKind::kSignalExit);
+  EXPECT_TRUE(sigexit.flag);
+}
+
+TEST(EventTest, DescribeHumanReadable) {
+  SymbolTable symbols;
+  const SymbolId send = symbols.intern("Send");
+  const SymbolId full = symbols.intern("full");
+  EXPECT_EQ(describe(EventRecord::enter(1, send, true, 0), symbols),
+            "Enter(p1, Send, 1)");
+  EXPECT_EQ(describe(EventRecord::wait(2, send, full, 0), symbols),
+            "Wait(p2, Send, full)");
+  EXPECT_EQ(describe(EventRecord::signal_exit(3, send, full, false, 0),
+                     symbols),
+            "Signal-Exit(p3, Send, full, 0)");
+}
+
+TEST(EventLogTest, AppendAssignsSequence) {
+  EventLog log;
+  EXPECT_EQ(log.append(EventRecord::enter(1, 0, true, 10)), 0u);
+  EXPECT_EQ(log.append(EventRecord::enter(2, 0, false, 20)), 1u);
+  EXPECT_EQ(log.pending(), 2u);
+  EXPECT_EQ(log.total_appended(), 2u);
+}
+
+TEST(EventLogTest, DrainEmptiesBuffer) {
+  EventLog log;
+  log.append(EventRecord::enter(1, 0, true, 10));
+  log.append(EventRecord::wait(1, 0, 1, 20));
+  const auto first = log.drain();
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(first[0].seq, 0u);
+  EXPECT_EQ(first[1].seq, 1u);
+  EXPECT_EQ(log.pending(), 0u);
+  EXPECT_TRUE(log.drain().empty());
+  log.append(EventRecord::signal_exit(1, 0, 1, false, 30));
+  const auto second = log.drain();
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].seq, 2u);
+}
+
+TEST(EventLogTest, RetentionArchivesEverything) {
+  EventLog log(/*retain_history=*/true);
+  log.append(EventRecord::enter(1, 0, true, 10));
+  log.drain();
+  log.append(EventRecord::wait(1, 0, 1, 20));
+  log.drain();
+  const auto history = log.history();
+  ASSERT_EQ(history.size(), 2u);
+  EXPECT_EQ(history[0].kind, EventKind::kEnter);
+  EXPECT_EQ(history[1].kind, EventKind::kWait);
+}
+
+TEST(EventLogTest, RetentionOffByDefault) {
+  EventLog log;
+  log.append(EventRecord::enter(1, 0, true, 10));
+  EXPECT_TRUE(log.history().empty());
+}
+
+SchedulingState sample_state() {
+  SchedulingState state;
+  state.captured_at = 1000;
+  state.entry_queue = {{7, 0, 900}, {8, 1, 950}};
+  state.cond_queues = {{2, {{9, 0, 800}}}, {3, {}}};
+  state.resources = 4;
+  state.running = 5;
+  state.running_proc = 1;
+  state.running_since = 700;
+  return state;
+}
+
+TEST(SnapshotTest, CondEntriesLookup) {
+  const SchedulingState state = sample_state();
+  EXPECT_EQ(state.cond_entries(2).size(), 1u);
+  EXPECT_TRUE(state.cond_entries(3).empty());
+  EXPECT_TRUE(state.cond_entries(99).empty());
+}
+
+TEST(SnapshotTest, BlockedCount) {
+  EXPECT_EQ(sample_state().blocked_count(), 3u);
+}
+
+TEST(SnapshotTest, EqualityIsStructural) {
+  SchedulingState a = sample_state();
+  SchedulingState b = sample_state();
+  EXPECT_EQ(a, b);
+  b.entry_queue.pop_back();
+  EXPECT_NE(a, b);
+}
+
+TEST(CodecTest, RoundTrip) {
+  TraceFile original;
+  original.monitor_name = "buf";
+  original.monitor_type = "coordinator";
+  original.rmax = 8;
+  original.symbols = {"Send", "Receive", "full", "empty"};
+  original.events.push_back(EventRecord::enter(1, 0, true, 100));
+  original.events.back().seq = 0;
+  original.events.push_back(EventRecord::wait(1, 0, 2, 200));
+  original.events.back().seq = 1;
+  original.events.push_back(EventRecord::signal_exit(2, 1, 3, true, 300));
+  original.events.back().seq = 2;
+  original.checkpoints.push_back(sample_state());
+
+  const std::string text = write_trace_string(original);
+  const TraceFile parsed = read_trace_string(text);
+
+  EXPECT_EQ(parsed.monitor_name, original.monitor_name);
+  EXPECT_EQ(parsed.monitor_type, original.monitor_type);
+  EXPECT_EQ(parsed.rmax, original.rmax);
+  EXPECT_EQ(parsed.symbols, original.symbols);
+  ASSERT_EQ(parsed.events.size(), original.events.size());
+  for (std::size_t i = 0; i < parsed.events.size(); ++i) {
+    EXPECT_EQ(parsed.events[i], original.events[i]) << "event " << i;
+  }
+  ASSERT_EQ(parsed.checkpoints.size(), 1u);
+  EXPECT_EQ(parsed.checkpoints[0], original.checkpoints[0]);
+}
+
+TEST(CodecTest, EmptyCondQueuePreserved) {
+  TraceFile original;
+  original.monitor_name = "m";
+  original.monitor_type = "manager";
+  original.rmax = -1;
+  SchedulingState state;
+  state.cond_queues = {{0, {}}};
+  original.checkpoints.push_back(state);
+  const TraceFile parsed = read_trace_string(write_trace_string(original));
+  ASSERT_EQ(parsed.checkpoints.size(), 1u);
+  ASSERT_EQ(parsed.checkpoints[0].cond_queues.size(), 1u);
+  EXPECT_TRUE(parsed.checkpoints[0].cond_queues[0].entries.empty());
+}
+
+TEST(CodecTest, RejectsBadMagic) {
+  EXPECT_THROW(read_trace_string("not-a-trace\n"), std::runtime_error);
+}
+
+TEST(CodecTest, RejectsUnknownTag) {
+  EXPECT_THROW(read_trace_string("robmon-trace v1\nbogus 1 2 3\n"),
+               std::runtime_error);
+}
+
+TEST(CodecTest, RejectsBadEventKind) {
+  EXPECT_THROW(
+      read_trace_string("robmon-trace v1\nev 0 1 X 1 0 -1 0\n"),
+      std::runtime_error);
+}
+
+TEST(CodecTest, RejectsOrphanQueueLines) {
+  EXPECT_THROW(read_trace_string("robmon-trace v1\neq 1 0 0\n"),
+               std::runtime_error);
+  EXPECT_THROW(read_trace_string("robmon-trace v1\nendstate\n"),
+               std::runtime_error);
+}
+
+TEST(CodecTest, MakeTraceFileCopiesSymbols) {
+  SymbolTable symbols;
+  symbols.intern("Send");
+  symbols.intern("full");
+  const TraceFile file = make_trace_file("m", "coordinator", 4, symbols,
+                                         {}, {});
+  ASSERT_EQ(file.symbols.size(), 2u);
+  EXPECT_EQ(file.symbols[0], "Send");
+  EXPECT_EQ(file.symbols[1], "full");
+}
+
+}  // namespace
+}  // namespace robmon::trace
