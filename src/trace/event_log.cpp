@@ -1,48 +1,122 @@
 #include "trace/event_log.hpp"
 
+#include <algorithm>
 #include <mutex>
 #include <utility>
 
 namespace robmon::trace {
 
+namespace {
+
+bool seq_less(const EventRecord& a, const EventRecord& b) {
+  return a.seq < b.seq;
+}
+
+}  // namespace
+
+EventLog::EventLog(bool retain_history, std::size_t shards)
+    : shard_count_(shards == 0 ? 1 : shards),
+      shards_(std::make_unique<Shard[]>(shard_count_)),
+      retain_history_(retain_history) {}
+
+EventLog::Shard& EventLog::shard_for_thread() {
+  static std::atomic<std::size_t> next_slot{0};
+  thread_local const std::size_t slot =
+      next_slot.fetch_add(1, std::memory_order_relaxed);
+  return shards_[slot % shard_count_];
+}
+
 std::uint64_t EventLog::append(EventRecord event) {
-  std::lock_guard<sync::SpinLock> lock(mu_);
-  event.seq = next_seq_++;
-  buffer_.push_back(event);
-  if (retain_history_) archive_.push_back(event);
+  Shard& shard = shard_for_thread();
+  std::lock_guard<sync::SpinLock> lock(shard.mu);
+  event.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  shard.active.push_back(event);
   return event.seq;
 }
 
 std::vector<EventRecord> EventLog::drain() {
-  std::vector<EventRecord> out;
-  std::lock_guard<sync::SpinLock> lock(mu_);
-  out.swap(buffer_);
-  return out;
+  std::lock_guard<std::mutex> drain_lock(drain_mu_);
+
+  // Constant-time handoff per shard: swap the append buffer for the empty
+  // standby while holding the spinlock, merge outside every append lock.
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < shard_count_; ++i) {
+    Shard& shard = shards_[i];
+    std::lock_guard<sync::SpinLock> lock(shard.mu);
+    shard.active.swap(shard.standby);
+    total += shard.standby.size();
+  }
+
+  std::vector<EventRecord> merged;
+  merged.reserve(total);
+  for (std::size_t i = 0; i < shard_count_; ++i) {
+    Shard& shard = shards_[i];
+    merged.insert(merged.end(), shard.standby.begin(), shard.standby.end());
+    shard.standby.clear();  // keeps capacity for the next swap
+  }
+  std::sort(merged.begin(), merged.end(), seq_less);
+
+  drained_.fetch_add(merged.size(), std::memory_order_relaxed);
+  if (retain_history_.load(std::memory_order_relaxed) && !merged.empty()) {
+    auto segment = std::make_shared<const std::vector<EventRecord>>(merged);
+    std::lock_guard<sync::SpinLock> lock(archive_mu_);
+    archive_segments_.push_back(std::move(segment));
+  }
+  return merged;
 }
 
 std::size_t EventLog::pending() const {
-  std::lock_guard<sync::SpinLock> lock(mu_);
-  return buffer_.size();
+  const std::uint64_t appended = next_seq_.load(std::memory_order_relaxed);
+  const std::uint64_t drained = drained_.load(std::memory_order_relaxed);
+  return appended >= drained ? static_cast<std::size_t>(appended - drained)
+                             : 0;
 }
 
 std::uint64_t EventLog::total_appended() const {
-  std::lock_guard<sync::SpinLock> lock(mu_);
-  return next_seq_;
+  return next_seq_.load(std::memory_order_relaxed);
 }
 
 void EventLog::set_retention(bool retain) {
-  std::lock_guard<sync::SpinLock> lock(mu_);
-  retain_history_ = retain;
+  retain_history_.store(retain, std::memory_order_relaxed);
 }
 
 bool EventLog::retention() const {
-  std::lock_guard<sync::SpinLock> lock(mu_);
-  return retain_history_;
+  return retain_history_.load(std::memory_order_relaxed);
+}
+
+std::vector<EventRecord> EventLog::pending_snapshot() const {
+  std::vector<EventRecord> out;
+  for (std::size_t i = 0; i < shard_count_; ++i) {
+    Shard& shard = shards_[i];
+    std::lock_guard<sync::SpinLock> lock(shard.mu);
+    out.insert(out.end(), shard.active.begin(), shard.active.end());
+  }
+  std::sort(out.begin(), out.end(), seq_less);
+  return out;
 }
 
 std::vector<EventRecord> EventLog::history() const {
-  std::lock_guard<sync::SpinLock> lock(mu_);
-  return archive_;
+  if (!retention()) return {};
+
+  // Excluding drains (drain_mu_) keeps "archived" and "pending" disjoint;
+  // appenders are never blocked by history readers.
+  std::lock_guard<std::mutex> drain_lock(drain_mu_);
+  std::vector<Segment> segments;
+  {
+    std::lock_guard<sync::SpinLock> lock(archive_mu_);
+    segments = archive_segments_;
+  }
+  std::vector<EventRecord> pending_events = pending_snapshot();
+
+  std::size_t total = pending_events.size();
+  for (const Segment& segment : segments) total += segment->size();
+  std::vector<EventRecord> out;
+  out.reserve(total);
+  for (const Segment& segment : segments) {
+    out.insert(out.end(), segment->begin(), segment->end());
+  }
+  out.insert(out.end(), pending_events.begin(), pending_events.end());
+  return out;
 }
 
 }  // namespace robmon::trace

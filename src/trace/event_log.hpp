@@ -4,9 +4,23 @@
 // checking point ("most of the information can be removed after being used",
 // Section 3.3).  Optional full retention supports offline FD-Rule validation
 // and trace export.
+//
+// Scalability structure (CheckerPool era): appends go to per-shard
+// double-buffered vectors, so concurrent appenders from different threads
+// rarely contend on one lock, and drain() swaps each shard's active buffer
+// for its empty standby instead of copying event data while a spinlock is
+// held.  Sequence numbers are issued from one atomic counter; drain() merges
+// the shard segments back into global sequence order.  Within one drain the
+// result is always seq-sorted; the guarantee that *no* event migrates past a
+// drain boundary holds whenever the caller quiesces appenders first (the
+// checker gate's exclusive side), which is how every checking routine calls
+// it.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "sync/spinlock.hpp"
@@ -16,8 +30,12 @@ namespace robmon::trace {
 
 class EventLog {
  public:
-  explicit EventLog(bool retain_history = false)
-      : retain_history_(retain_history) {}
+  /// Default shard count; chosen to keep false sharing low without wasting
+  /// memory on mostly-idle monitors.
+  static constexpr std::size_t kDefaultShards = 8;
+
+  explicit EventLog(bool retain_history = false,
+                    std::size_t shards = kDefaultShards);
 
   EventLog(const EventLog&) = delete;
   EventLog& operator=(const EventLog&) = delete;
@@ -25,7 +43,9 @@ class EventLog {
   /// Append one event; assigns and returns its sequence number.
   std::uint64_t append(EventRecord event);
 
-  /// Remove and return every event buffered since the last drain, in order.
+  /// Remove and return every event buffered since the last drain, merged
+  /// into sequence order.  Constant-time buffer swap per shard under the
+  /// shard spinlock; the merge happens outside all append locks.
   std::vector<EventRecord> drain();
 
   /// Number of events currently buffered (not yet drained).
@@ -34,19 +54,45 @@ class EventLog {
   /// Total events ever appended.
   std::uint64_t total_appended() const;
 
-  /// When retention is on, every appended event is also archived.
+  /// When retention is on, every drained segment is also archived (and
+  /// history() additionally includes still-pending events).
   void set_retention(bool retain);
   bool retention() const;
 
-  /// Copy of the full archive (requires retention; empty otherwise).
+  /// Full archive in sequence order (requires retention; empty otherwise).
+  /// Archived segments are shared snapshots: only the small pointer vector
+  /// is copied under the archive lock, never the event data.
   std::vector<EventRecord> history() const;
 
+  std::size_t shard_count() const { return shard_count_; }
+
  private:
-  mutable sync::SpinLock mu_;
-  std::vector<EventRecord> buffer_;
-  std::vector<EventRecord> archive_;
-  std::uint64_t next_seq_ = 0;
-  bool retain_history_;
+  /// One append shard: active receives appends; standby is the drained-out
+  /// double buffer, reused (capacity kept) across drains.
+  struct alignas(64) Shard {
+    mutable sync::SpinLock mu;
+    std::vector<EventRecord> active;
+    std::vector<EventRecord> standby;
+  };
+
+  using Segment = std::shared_ptr<const std::vector<EventRecord>>;
+
+  Shard& shard_for_thread();
+  /// Seq-sorted copy of every not-yet-drained event (brief per-shard locks).
+  std::vector<EventRecord> pending_snapshot() const;
+
+  const std::size_t shard_count_;
+  std::unique_ptr<Shard[]> shards_;
+
+  std::atomic<std::uint64_t> next_seq_{0};
+  std::atomic<std::uint64_t> drained_{0};
+  std::atomic<bool> retain_history_;
+
+  /// Serializes drains, and history() against drains (appends never take it).
+  mutable std::mutex drain_mu_;
+
+  mutable sync::SpinLock archive_mu_;
+  std::vector<Segment> archive_segments_;
 };
 
 }  // namespace robmon::trace

@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
+#include <vector>
 
 #include "trace/codec.hpp"
 #include "trace/event.hpp"
@@ -107,6 +111,80 @@ TEST(EventLogTest, RetentionOffByDefault) {
   EventLog log;
   log.append(EventRecord::enter(1, 0, true, 10));
   EXPECT_TRUE(log.history().empty());
+}
+
+TEST(EventLogTest, HistoryIncludesPendingWhenRetained) {
+  EventLog log(/*retain_history=*/true);
+  log.append(EventRecord::enter(1, 0, true, 10));
+  log.append(EventRecord::wait(1, 0, 1, 20));
+  log.drain();
+  log.append(EventRecord::signal_exit(1, 0, 1, false, 30));  // not drained
+  const auto history = log.history();
+  ASSERT_EQ(history.size(), 3u);
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    EXPECT_EQ(history[i].seq, i);
+  }
+}
+
+TEST(EventLogTest, ConcurrentAppendsDrainLosslessAndSeqOrdered) {
+  EventLog log;
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 2000;
+  std::vector<std::thread> threads;
+  std::vector<EventRecord> drained;
+  std::mutex drained_mu;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        log.append(EventRecord::enter(t, 0, true, static_cast<long>(i)));
+        if (i % 256 == 0) {
+          // Interleave drains with appends from other threads.
+          auto segment = log.drain();
+          std::lock_guard<std::mutex> lock(drained_mu);
+          drained.insert(drained.end(), segment.begin(), segment.end());
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  {
+    auto segment = log.drain();
+    drained.insert(drained.end(), segment.begin(), segment.end());
+  }
+  constexpr std::uint64_t kTotal = kThreads * kPerThread;
+  EXPECT_EQ(log.total_appended(), kTotal);
+  EXPECT_EQ(log.pending(), 0u);
+  ASSERT_EQ(drained.size(), kTotal);
+  // Every sequence number exactly once.
+  std::vector<bool> seen(kTotal, false);
+  for (const auto& event : drained) {
+    ASSERT_LT(event.seq, kTotal);
+    EXPECT_FALSE(seen[event.seq]) << "duplicate seq " << event.seq;
+    seen[event.seq] = true;
+  }
+}
+
+TEST(EventLogTest, QuiescedDrainIsSeqSorted) {
+  // With appenders quiesced (the checker-gate discipline), each drain is a
+  // contiguous, sorted seq range.
+  EventLog log;
+  std::uint64_t expected_seq = 0;
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&log, t] {
+        for (int i = 0; i < 500; ++i) {
+          log.append(EventRecord::enter(t, 0, true, i));
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    const auto segment = log.drain();
+    ASSERT_EQ(segment.size(), 2000u);
+    for (const auto& event : segment) {
+      EXPECT_EQ(event.seq, expected_seq++);
+    }
+  }
 }
 
 SchedulingState sample_state() {
