@@ -1,9 +1,26 @@
 #include "runtime/checker.hpp"
 
-#include <chrono>
-#include <optional>
+#include <utility>
 
 namespace robmon::rt {
+
+namespace {
+
+CheckerPool::Options single_thread(const util::Clock& clock) {
+  CheckerPool::Options options;
+  options.threads = 1;
+  options.clock = &clock;
+  return options;
+}
+
+CheckerPool::MonitorOptions to_pool_options(PeriodicChecker::Options options) {
+  CheckerPool::MonitorOptions pool_options;
+  pool_options.hold_gate_during_check = options.hold_gate_during_check;
+  pool_options.on_checkpoint = std::move(options.on_checkpoint);
+  return pool_options;
+}
+
+}  // namespace
 
 PeriodicChecker::PeriodicChecker(HoareMonitor& monitor,
                                  core::Detector& detector,
@@ -13,73 +30,22 @@ PeriodicChecker::PeriodicChecker(HoareMonitor& monitor,
 PeriodicChecker::PeriodicChecker(HoareMonitor& monitor,
                                  core::Detector& detector,
                                  const util::Clock& clock, Options options)
-    : monitor_(&monitor),
-      detector_(&detector),
-      clock_(&clock),
-      options_(options) {}
+    : detector_(&detector),
+      pool_(single_thread(clock)),
+      id_(pool_.add(monitor, detector, to_pool_options(std::move(options)))) {}
 
-PeriodicChecker::~PeriodicChecker() { stop(); }
+PeriodicChecker::~PeriodicChecker() = default;  // pool joins its worker
 
-void PeriodicChecker::start() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (running_) return;
-  running_ = true;
-  stop_requested_ = false;
-  thread_ = std::thread([this] { loop(); });
-}
+void PeriodicChecker::start() { pool_.schedule(id_); }
 
-void PeriodicChecker::stop() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!running_) return;
-    stop_requested_ = true;
-  }
-  cv_.notify_all();
-  thread_.join();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    running_ = false;
-  }
-}
+void PeriodicChecker::stop() { pool_.unschedule(id_); }
 
 core::Detector::CheckStats PeriodicChecker::check_now() {
-  std::lock_guard<std::mutex> serialize(check_mu_);
-  std::vector<trace::EventRecord> segment;
-  std::optional<trace::SchedulingState> state;
-  core::Detector::CheckStats stats;
-  if (options_.hold_gate_during_check) {
-    sync::CheckerGate::ExclusiveScope quiesce(monitor_->gate());
-    segment = monitor_->log().drain();
-    state = monitor_->snapshot();
-    stats = detector_->check(segment, *state, clock_->now_ns());
-  } else {
-    {
-      sync::CheckerGate::ExclusiveScope quiesce(monitor_->gate());
-      segment = monitor_->log().drain();
-      state = monitor_->snapshot();
-    }
-    stats = detector_->check(segment, *state, clock_->now_ns());
-  }
-  if (options_.on_checkpoint) options_.on_checkpoint(*state);
-  return stats;
+  return pool_.check_now(id_);
 }
 
 std::uint64_t PeriodicChecker::checks_run() const {
   return detector_->checks_run();
-}
-
-void PeriodicChecker::loop() {
-  const auto period =
-      std::chrono::nanoseconds(detector_->spec().check_period);
-  std::unique_lock<std::mutex> lock(mu_);
-  for (;;) {
-    if (cv_.wait_for(lock, period, [this] { return stop_requested_; })) {
-      return;
-    }
-    lock.unlock();
-    check_now();
-    lock.lock();
-  }
 }
 
 }  // namespace robmon::rt

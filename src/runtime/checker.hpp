@@ -1,21 +1,25 @@
-// The periodic fault-detection routine of Fig. 1 as a background thread.
+// The periodic fault-detection routine of Fig. 1 for a single monitor.
 //
-// Every check_period it quiesces the monitor through the checker gate (the
-// paper's "all other running processes are suspended"), drains the event
-// segment, snapshots the scheduling state, and runs the Detector.  With
+// Every check_period the monitor is quiesced through the checker gate (the
+// paper's "all other running processes are suspended"), the event segment
+// drained, the scheduling state snapshotted, and the Detector run.  With
 // hold_gate_during_check=false the gate is released right after the
 // snapshot and the algorithms run concurrently with monitor traffic — an
 // ablation of the paper's suspension design measured by
 // bench/ablation_interval.
+//
+// Since the CheckerPool refactor this class is a thin compatibility wrapper
+// over a private single-monitor pool: start()/stop() schedule/unschedule the
+// monitor on one worker thread, preserving the original one-thread-per-
+// monitor behaviour for existing call sites.  New multi-monitor code should
+// share one rt::CheckerPool instead (RobustMonitor::Options::checker_pool).
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
-#include <thread>
 
 #include "core/detector.hpp"
+#include "runtime/checker_pool.hpp"
 #include "runtime/hoare_monitor.hpp"
 
 namespace robmon::rt {
@@ -40,11 +44,12 @@ class PeriodicChecker {
   PeriodicChecker(const PeriodicChecker&) = delete;
   PeriodicChecker& operator=(const PeriodicChecker&) = delete;
 
-  /// Start the background thread (no-op if already running).  The detector
+  /// Start periodic checking (no-op if already running).  The detector
   /// must already be initialize()d.
   void start();
 
-  /// Stop and join the background thread (no-op if not running).
+  /// Stop periodic checking; on return no check is in flight (no-op if not
+  /// running).
   void stop();
 
   /// Run one checking-routine invocation synchronously on the caller's
@@ -53,21 +58,13 @@ class PeriodicChecker {
 
   std::uint64_t checks_run() const;
 
+  /// The underlying single-monitor pool (introspection / bench counters).
+  const CheckerPool& pool() const { return pool_; }
+
  private:
-  void loop();
-
-  HoareMonitor* monitor_;
   core::Detector* detector_;
-  const util::Clock* clock_;
-  Options options_;
-
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool running_ = false;
-  bool stop_requested_ = false;
-  std::thread thread_;
-  /// Serializes check_now() against the background loop.
-  std::mutex check_mu_;
+  CheckerPool pool_;
+  CheckerPool::MonitorId id_;
 };
 
 }  // namespace robmon::rt

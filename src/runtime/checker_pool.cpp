@@ -1,0 +1,232 @@
+#include "runtime/checker_pool.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <stdexcept>
+
+namespace robmon::rt {
+
+namespace {
+
+/// Floor for the checking cadence: a zero/negative check_period would turn
+/// a worker into a hot spin loop.
+constexpr util::TimeNs kMinPeriodNs = 100'000;  // 100us
+
+/// Deadlines and durations are wall-clock: Options::clock only feeds the
+/// detection rules, so a frozen ManualClock must not stall the cadence.
+util::TimeNs wall_now() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::size_t clamp_threads(std::size_t requested) {
+  const std::size_t hardware =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  if (requested == 0) return hardware;
+  return std::min(requested, hardware);
+}
+
+}  // namespace
+
+CheckerPool::CheckerPool(Options options)
+    : clock_(options.clock),
+      configured_threads_(clamp_threads(options.threads)) {}
+
+CheckerPool::~CheckerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+CheckerPool::MonitorId CheckerPool::add(HoareMonitor& monitor,
+                                        core::Detector& detector) {
+  return add(monitor, detector, MonitorOptions{});
+}
+
+CheckerPool::MonitorId CheckerPool::add(HoareMonitor& monitor,
+                                        core::Detector& detector,
+                                        MonitorOptions options) {
+  auto entry = std::make_unique<Entry>();
+  entry->monitor = &monitor;
+  entry->detector = &detector;
+  entry->options = std::move(options);
+  entry->period = std::max(detector.spec().check_period, kMinPeriodNs);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const MonitorId id = next_id_++;
+  entries_.emplace(id, std::move(entry));
+  return id;
+}
+
+void CheckerPool::ensure_workers_locked() {
+  if (!workers_.empty() || stop_) return;
+  workers_.reserve(configured_threads_);
+  for (std::size_t i = 0; i < configured_threads_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void CheckerPool::schedule(MonitorId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    throw std::invalid_argument("CheckerPool::schedule: unknown monitor id");
+  }
+  Entry& entry = *it->second;
+  if (entry.scheduled) return;
+  entry.scheduled = true;
+  ++entry.generation;
+  heap_.push({wall_now() + entry.period, id, entry.generation});
+  ensure_workers_locked();
+  work_cv_.notify_all();
+}
+
+void CheckerPool::unschedule(MonitorId id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return;
+  Entry& entry = *it->second;
+  entry.scheduled = false;
+  ++entry.generation;  // invalidates every heap item for this monitor
+  idle_cv_.wait(lock, [&entry] { return entry.busy == 0; });
+}
+
+void CheckerPool::remove(MonitorId id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return;
+  Entry& entry = *it->second;
+  entry.scheduled = false;
+  ++entry.generation;
+  idle_cv_.wait(lock, [&entry] { return entry.busy == 0; });
+  entries_.erase(it);  // stale heap items are discarded by the workers
+}
+
+core::Detector::CheckStats CheckerPool::check_now(MonitorId id) {
+  Entry* entry = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(id);
+    if (it == entries_.end()) {
+      throw std::invalid_argument(
+          "CheckerPool::check_now: unknown monitor id");
+    }
+    entry = it->second.get();
+    ++entry->busy;  // pins the entry: remove() waits for busy == 0
+  }
+  // The busy pin must drop even if the check throws (e.g. a user
+  // on_checkpoint callback), or unschedule()/remove() would block forever.
+  struct BusyRelease {
+    CheckerPool* pool;
+    Entry* entry;
+    ~BusyRelease() {
+      {
+        std::lock_guard<std::mutex> lock(pool->mu_);
+        --entry->busy;
+      }
+      pool->idle_cv_.notify_all();
+    }
+  } release{this, entry};
+  std::lock_guard<std::mutex> check_lock(entry->check_mu);
+  return run_check(*entry);
+}
+
+std::size_t CheckerPool::thread_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return workers_.size();
+}
+
+std::size_t CheckerPool::monitor_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::size_t CheckerPool::scheduled_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t count = 0;
+  for (const auto& [id, entry] : entries_) {
+    if (entry->scheduled) ++count;
+  }
+  return count;
+}
+
+core::Detector::CheckStats CheckerPool::run_check(Entry& entry) {
+  const util::TimeNs started = wall_now();
+  std::vector<trace::EventRecord> segment;
+  std::optional<trace::SchedulingState> state;
+  core::Detector::CheckStats stats;
+  util::TimeNs gate_released = started;
+  if (entry.options.hold_gate_during_check) {
+    {
+      sync::CheckerGate::ExclusiveScope quiesce(entry.monitor->gate());
+      segment = entry.monitor->log().drain();
+      state = entry.monitor->snapshot();
+      stats = entry.detector->check(segment, *state, clock_->now_ns());
+    }
+    gate_released = wall_now();  // paper mode: suspended through the check
+  } else {
+    {
+      sync::CheckerGate::ExclusiveScope quiesce(entry.monitor->gate());
+      segment = entry.monitor->log().drain();
+      state = entry.monitor->snapshot();
+    }
+    gate_released = wall_now();
+    stats = entry.detector->check(segment, *state, clock_->now_ns());
+  }
+  const util::TimeNs finished = wall_now();
+  checks_executed_.fetch_add(1, std::memory_order_relaxed);
+  total_quiesce_ns_.fetch_add(
+      static_cast<std::uint64_t>(gate_released - started),
+      std::memory_order_relaxed);
+  total_check_ns_.fetch_add(static_cast<std::uint64_t>(finished - started),
+                            std::memory_order_relaxed);
+  if (entry.options.on_checkpoint) entry.options.on_checkpoint(*state);
+  return stats;
+}
+
+void CheckerPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (heap_.empty()) {
+      work_cv_.wait(lock);
+      continue;
+    }
+    const HeapItem top = heap_.top();
+    auto it = entries_.find(top.id);
+    if (it == entries_.end() || it->second->generation != top.generation ||
+        !it->second->scheduled) {
+      heap_.pop();  // stale: unscheduled, rescheduled, or removed
+      continue;
+    }
+    const util::TimeNs now = wall_now();
+    if (top.due > now) {
+      work_cv_.wait_for(lock, std::chrono::nanoseconds(top.due - now));
+      continue;
+    }
+    heap_.pop();
+    Entry& entry = *it->second;
+    ++entry.busy;
+    lock.unlock();
+    {
+      std::lock_guard<std::mutex> check_lock(entry.check_mu);
+      run_check(entry);
+    }
+    lock.lock();
+    --entry.busy;
+    idle_cv_.notify_all();
+    // Deadlines restart after the check completes, so a monitor whose check
+    // outlasts its period degrades to back-to-back checks instead of
+    // accumulating a backlog of due items.
+    if (entry.scheduled && entry.generation == top.generation) {
+      heap_.push({wall_now() + entry.period, top.id, top.generation});
+      work_cv_.notify_one();
+    }
+  }
+}
+
+}  // namespace robmon::rt

@@ -1,0 +1,158 @@
+// CheckerPool — the sharded, deadline-scheduled detection engine.
+//
+// The paper's fault-detection routine (Fig. 1) is specified per monitor, and
+// the first runtime mirrored that: one PeriodicChecker thread per
+// RobustMonitor.  A process with M monitors then pays M mostly-idle threads.
+// The pool inverts the structure: K worker threads (K bounded by hardware
+// concurrency, configurable) share a min-heap of registered monitors ordered
+// by next check deadline (spec.check_period cadence).  When a monitor comes
+// due, one worker quiesces it through *its own* checker gate, drains its
+// event segment, snapshots its scheduling state and runs its Detector — no
+// global stop-the-world across monitors, and the suspend-vs-concurrent
+// choice (hold_gate_during_check) is a per-monitor policy, not a property of
+// the engine.
+//
+// Lifecycle: add() registers a monitor (idle); schedule() begins periodic
+// checking; unschedule() stops it and blocks until any in-flight check of
+// that monitor completes; remove() unregisters.  check_now() runs one
+// synchronous check from the caller's thread and needs no workers, so a
+// never-scheduled pool is free.  Worker threads spawn lazily on the first
+// schedule() and are joined by the destructor.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "runtime/hoare_monitor.hpp"
+
+namespace robmon::rt {
+
+class CheckerPool {
+ public:
+  struct Options {
+    /// Worker threads K; 0 means "hardware concurrency".  Always clamped to
+    /// [1, hardware concurrency].
+    std::size_t threads = 0;
+    /// Supplies the timestamps the detection rules evaluate against (Tmax,
+    /// Tio, Tlimit).  The check *cadence* is always wall-clock, like the
+    /// original PeriodicChecker loop, so a frozen ManualClock cannot stall
+    /// periodic checking.
+    const util::Clock* clock = &util::SteadyClock::instance();
+  };
+
+  /// Per-monitor policy — the knobs PeriodicChecker::Options exposed.
+  struct MonitorOptions {
+    /// Keep monitor traffic suspended while the algorithms run (paper
+    /// behaviour).  false = release the gate right after the snapshot.
+    bool hold_gate_during_check = true;
+    /// Invoked with every checkpoint state (replayable-trace support).
+    std::function<void(const trace::SchedulingState&)> on_checkpoint;
+  };
+
+  using MonitorId = std::uint64_t;
+
+  CheckerPool() : CheckerPool(Options{}) {}
+  explicit CheckerPool(Options options);
+  ~CheckerPool();
+
+  CheckerPool(const CheckerPool&) = delete;
+  CheckerPool& operator=(const CheckerPool&) = delete;
+
+  /// Register a monitor/detector pair.  The pair must outlive its
+  /// registration (until remove() or pool destruction).  The check cadence
+  /// is detector.spec().check_period.  Registered monitors start idle.
+  MonitorId add(HoareMonitor& monitor, core::Detector& detector);
+  MonitorId add(HoareMonitor& monitor, core::Detector& detector,
+                MonitorOptions options);
+
+  /// Begin periodic checking of `id` (first check one period from now).
+  /// Spawns the worker threads on first use.  No-op if already scheduled.
+  void schedule(MonitorId id);
+
+  /// Stop periodic checking of `id`; on return no check of this monitor is
+  /// in flight and none will start.  No-op if not scheduled.
+  void unschedule(MonitorId id);
+
+  /// Unschedule and unregister `id`.
+  void remove(MonitorId id);
+
+  /// One synchronous checking-routine invocation on the caller's thread;
+  /// serialized against any worker checking the same monitor.
+  core::Detector::CheckStats check_now(MonitorId id);
+
+  // --- Introspection (bench/pool_scaling, tests). ---------------------------
+
+  /// Worker threads currently running (0 until the first schedule()).
+  std::size_t thread_count() const;
+  /// Worker threads the pool will run once started (the clamped K).
+  std::size_t configured_threads() const { return configured_threads_; }
+  std::size_t monitor_count() const;
+  std::size_t scheduled_count() const;
+
+  /// Checks executed through this pool (periodic + check_now).
+  std::uint64_t checks_executed() const {
+    return checks_executed_.load(std::memory_order_relaxed);
+  }
+  /// Cumulative wall time the checker gate was held exclusively (in hold-
+  /// gate mode that spans the whole detector run; otherwise just drain +
+  /// snapshot), and wall time of the full checking routine, in nanoseconds.
+  std::uint64_t total_quiesce_ns() const {
+    return total_quiesce_ns_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t total_check_ns() const {
+    return total_check_ns_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    HoareMonitor* monitor = nullptr;
+    core::Detector* detector = nullptr;
+    MonitorOptions options;
+    util::TimeNs period = 0;
+    /// Bumped by schedule()/unschedule(); stale heap items are discarded.
+    std::uint64_t generation = 0;
+    bool scheduled = false;
+    /// Checks currently executing against this entry (worker or check_now).
+    int busy = 0;
+    /// Serializes the actual checking routine per monitor.
+    std::mutex check_mu;
+  };
+
+  struct HeapItem {
+    util::TimeNs due = 0;
+    MonitorId id = 0;
+    std::uint64_t generation = 0;
+    bool operator>(const HeapItem& other) const { return due > other.due; }
+  };
+
+  void worker_loop();
+  void ensure_workers_locked();
+  core::Detector::CheckStats run_check(Entry& entry);
+
+  const util::Clock* clock_;
+  std::size_t configured_threads_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   ///< Heap / stop changes.
+  std::condition_variable idle_cv_;   ///< Entry busy-count drops.
+  std::unordered_map<MonitorId, std::unique_ptr<Entry>> entries_;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap_;
+  std::vector<std::thread> workers_;
+  MonitorId next_id_ = 1;
+  bool stop_ = false;
+
+  std::atomic<std::uint64_t> checks_executed_{0};
+  std::atomic<std::uint64_t> total_quiesce_ns_{0};
+  std::atomic<std::uint64_t> total_check_ns_{0};
+};
+
+}  // namespace robmon::rt

@@ -2,21 +2,6 @@
 
 namespace robmon::rt {
 
-namespace {
-
-PeriodicChecker::Options make_checker_options(
-    const RobustMonitor::Options& options,
-    std::function<void(const trace::SchedulingState&)> on_checkpoint) {
-  PeriodicChecker::Options checker_options;
-  checker_options.hold_gate_during_check = options.hold_gate_during_check;
-  if (options.retain_trace) {
-    checker_options.on_checkpoint = std::move(on_checkpoint);
-  }
-  return checker_options;
-}
-
-}  // namespace
-
 RobustMonitor::RobustMonitor(core::MonitorSpec spec, core::ReportSink& sink)
     : RobustMonitor(std::move(spec), sink, Options{}) {}
 
@@ -26,14 +11,27 @@ RobustMonitor::RobustMonitor(core::MonitorSpec spec, core::ReportSink& sink,
       options_(options),
       monitor_(std::move(spec), *options.clock, *options.injection,
                options.instrumentation, options.semantics),
-      detector_(monitor_.spec(), monitor_.symbols(), sink),
-      checker_(monitor_, detector_, *options.clock,
-               make_checker_options(options,
-                                    [this](const trace::SchedulingState& s) {
-                                      std::lock_guard<std::mutex> lock(
-                                          checkpoints_mu_);
-                                      checkpoints_.push_back(s);
-                                    })) {
+      detector_(monitor_.spec(), monitor_.symbols(), sink) {
+  // One source of truth for the per-monitor checking policy; the two
+  // engine paths only differ in who owns the scheduling thread(s).
+  CheckerPool::MonitorOptions policy;
+  policy.hold_gate_during_check = options_.hold_gate_during_check;
+  if (options_.retain_trace) {
+    policy.on_checkpoint = [this](const trace::SchedulingState& s) {
+      std::lock_guard<std::mutex> lock(checkpoints_mu_);
+      checkpoints_.push_back(s);
+    };
+  }
+  if (options_.checker_pool != nullptr) {
+    pool_ = options_.checker_pool;
+    pool_id_ = pool_->add(monitor_, detector_, std::move(policy));
+  } else {
+    PeriodicChecker::Options checker_options;
+    checker_options.hold_gate_during_check = policy.hold_gate_during_check;
+    checker_options.on_checkpoint = std::move(policy.on_checkpoint);
+    checker_ = std::make_unique<PeriodicChecker>(
+        monitor_, detector_, *options_.clock, std::move(checker_options));
+  }
   if (options_.retain_trace) monitor_.log().set_retention(true);
   const std::string expression = monitor_.spec().effective_path_expression();
   if (!expression.empty()) order_spec_.emplace(expression);
@@ -46,7 +44,13 @@ RobustMonitor::RobustMonitor(core::MonitorSpec spec, core::ReportSink& sink,
   }
 }
 
-RobustMonitor::~RobustMonitor() { checker_.stop(); }
+RobustMonitor::~RobustMonitor() {
+  if (pool_ != nullptr) {
+    pool_->remove(pool_id_);
+  } else {
+    checker_->stop();
+  }
+}
 
 void RobustMonitor::advance_order_matcher(trace::Pid pid,
                                           const std::string& procedure) {
@@ -98,12 +102,25 @@ void RobustMonitor::signal_exit(trace::Pid pid, const std::string& cond,
 
 void RobustMonitor::exit(trace::Pid pid) { monitor_.exit(pid); }
 
-void RobustMonitor::start_checking() { checker_.start(); }
+void RobustMonitor::start_checking() {
+  if (pool_ != nullptr) {
+    pool_->schedule(pool_id_);
+  } else {
+    checker_->start();
+  }
+}
 
-void RobustMonitor::stop_checking() { checker_.stop(); }
+void RobustMonitor::stop_checking() {
+  if (pool_ != nullptr) {
+    pool_->unschedule(pool_id_);
+  } else {
+    checker_->stop();
+  }
+}
 
 core::Detector::CheckStats RobustMonitor::check_now() {
-  return checker_.check_now();
+  if (pool_ != nullptr) return pool_->check_now(pool_id_);
+  return checker_->check_now();
 }
 
 trace::TraceFile RobustMonitor::export_trace() const {

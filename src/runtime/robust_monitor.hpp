@@ -28,6 +28,7 @@
 #include "core/monitor_spec.hpp"
 #include "pathexpr/matcher.hpp"
 #include "runtime/checker.hpp"
+#include "runtime/checker_pool.hpp"
 #include "runtime/hoare_monitor.hpp"
 #include "trace/codec.hpp"
 
@@ -47,6 +48,12 @@ class RobustMonitor {
     /// Retain the full event history and checkpoint states so that
     /// export_trace() can produce a replayable trace.
     bool retain_trace = false;
+    /// Shared detection engine.  When set, this monitor registers with the
+    /// pool (deadline-scheduled across K worker threads) instead of
+    /// spawning a private PeriodicChecker thread; the pool must outlive the
+    /// monitor.  hold_gate_during_check stays a per-monitor policy either
+    /// way.
+    CheckerPool* checker_pool = nullptr;
   };
 
   RobustMonitor(core::MonitorSpec spec, core::ReportSink& sink);
@@ -106,7 +113,11 @@ class RobustMonitor {
   Options options_;
   HoareMonitor monitor_;
   core::Detector detector_;
-  PeriodicChecker checker_;
+  /// Shared-pool registration (Options::checker_pool) ...
+  CheckerPool* pool_ = nullptr;
+  CheckerPool::MonitorId pool_id_ = 0;
+  /// ... or the private single-thread compat checker.
+  std::unique_ptr<PeriodicChecker> checker_;
 
   /// Real-time phase state (allocator monitors / any declared order).
   std::optional<pathexpr::CallOrderSpec> order_spec_;
