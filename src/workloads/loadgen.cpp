@@ -1,9 +1,12 @@
 #include "workloads/loadgen.hpp"
 
 #include <chrono>
+#include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "runtime/checker_pool.hpp"
 #include "workloads/account.hpp"
 #include "workloads/allocator.hpp"
 #include "workloads/bounded_buffer.hpp"
@@ -163,6 +166,192 @@ LoadResult run_load(const LoadOptions& options) {
   result.checks_run = monitor.detector().checks_run();
   result.events_recorded = monitor.monitor().log().total_appended();
   result.faults_reported = sink.count();
+  return result;
+}
+
+MultiLoadResult run_multi_load(const MultiLoadOptions& options) {
+  const std::size_t monitor_count = std::max<std::size_t>(1, options.monitors);
+  const int threads_per_monitor = std::max(1, options.threads_per_monitor);
+  const std::size_t faulty = std::min(options.faulty_monitors, monitor_count);
+
+  // Detection engines.  Both modes run through CheckerPool so the scheduling
+  // counters are comparable: the old architecture is M pools of one thread,
+  // the new one is a single pool of K ≤ hardware-concurrency threads.
+  std::vector<std::unique_ptr<rt::CheckerPool>> engines;
+  if (options.mode == CheckerMode::kSharedPool) {
+    rt::CheckerPool::Options pool_options;
+    pool_options.threads = options.pool_threads;
+    engines.push_back(std::make_unique<rt::CheckerPool>(pool_options));
+  } else {
+    rt::CheckerPool::Options pool_options;
+    pool_options.threads = 1;
+    for (std::size_t i = 0; i < monitor_count; ++i) {
+      engines.push_back(std::make_unique<rt::CheckerPool>(pool_options));
+    }
+  }
+  const auto engine_for = [&](std::size_t i) -> rt::CheckerPool* {
+    return options.mode == CheckerMode::kSharedPool ? engines[0].get()
+                                                    : engines[i].get();
+  };
+
+  // Monitors: alternating communication coordinators (even index) and
+  // resource allocators (odd index), each with its own sink so detections
+  // are accounted per monitor.
+  const auto is_coordinator = [](std::size_t i) { return i % 2 == 0; };
+  const std::size_t buffer_capacity =
+      std::max<std::size_t>(options.capacity,
+                            static_cast<std::size_t>(threads_per_monitor));
+  std::vector<std::unique_ptr<core::CollectingSink>> sinks;
+  std::vector<std::unique_ptr<inject::ScriptedInjection>> injections;
+  std::vector<std::unique_ptr<rt::RobustMonitor>> monitors;
+  std::vector<std::unique_ptr<BoundedBuffer>> buffers(monitor_count);
+  std::vector<std::unique_ptr<ResourceAllocator>> allocators(monitor_count);
+  for (std::size_t i = 0; i < monitor_count; ++i) {
+    core::MonitorSpec spec =
+        is_coordinator(i)
+            ? core::MonitorSpec::coordinator(
+                  "multi-" + std::to_string(i),
+                  static_cast<std::int64_t>(buffer_capacity))
+            : core::MonitorSpec::allocator("multi-" + std::to_string(i));
+    spec.check_period = options.check_period;
+    spec.t_max = 5 * util::kSecond;
+    spec.t_io = 5 * util::kSecond;
+    spec.t_limit = 5 * util::kSecond;
+
+    sinks.push_back(std::make_unique<core::CollectingSink>());
+    rt::RobustMonitor::Options monitor_options;
+    monitor_options.checker_pool = engine_for(i);
+    monitor_options.hold_gate_during_check =
+        options.mix_gate_policies && i % 2 == 1
+            ? !options.hold_gate_during_check
+            : options.hold_gate_during_check;
+    monitors.push_back(std::make_unique<rt::RobustMonitor>(
+        std::move(spec), *sinks.back(), monitor_options));
+
+    inject::InjectionController* buffer_injection =
+        &inject::NullInjection::instance();
+    if (i < faulty && is_coordinator(i)) {
+      injections.push_back(std::make_unique<inject::ScriptedInjection>(
+          inject::ScriptedInjection::Plan{core::FaultKind::kReceiveExceedsSend,
+                                          trace::kNoPid, 1, false}));
+      buffer_injection = injections.back().get();
+    }
+    if (is_coordinator(i)) {
+      buffers[i] = std::make_unique<BoundedBuffer>(*monitors[i],
+                                                   buffer_capacity,
+                                                   *buffer_injection);
+    } else {
+      allocators[i] = std::make_unique<ResourceAllocator>(
+          *monitors[i],
+          static_cast<std::int64_t>(std::max<std::size_t>(1, options.capacity)));
+    }
+  }
+
+  // Deterministic fault injection before the measured region: a fabricated
+  // receive from an empty buffer (II.c, caught by Algorithm-2 at the next
+  // checking point) or a release-before-acquire client (III.a, caught by
+  // the real-time phase and confirmed by Algorithm-3).
+  for (std::size_t i = 0; i < faulty; ++i) {
+    if (is_coordinator(i)) {
+      std::int64_t item = 0;
+      buffers[i]->receive(/*pid=*/999, &item);
+    } else {
+      inject::ScriptedInjection release_early(
+          {core::FaultKind::kReleaseBeforeAcquire, trace::kNoPid, 1, false});
+      ClientOptions client;
+      client.iterations = 1;
+      run_allocator_client(*allocators[i], /*pid=*/999, release_early,
+                           client);
+    }
+  }
+
+  for (auto& monitor : monitors) monitor->start_checking();
+
+  std::vector<std::thread> threads;
+  threads.reserve(monitor_count * static_cast<std::size_t>(threads_per_monitor));
+  const std::int64_t pairs = std::max<std::int64_t>(1, options.ops_per_thread / 2);
+  const auto started = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < monitor_count; ++i) {
+    for (int t = 0; t < threads_per_monitor; ++t) {
+      const trace::Pid pid = 100 + t;
+      if (is_coordinator(i)) {
+        BoundedBuffer* buffer = buffers[i].get();
+        threads.emplace_back([buffer, pid, pairs] {
+          std::int64_t item = 0;
+          for (std::int64_t k = 0; k < pairs; ++k) {
+            if (buffer->send(pid, k) != rt::Status::kOk) return;
+            if (buffer->receive(pid, &item) != rt::Status::kOk) return;
+          }
+        });
+      } else {
+        ResourceAllocator* allocator = allocators[i].get();
+        threads.emplace_back([allocator, pid, pairs] {
+          ClientOptions client;
+          client.iterations = static_cast<int>(pairs);
+          run_allocator_client(*allocator, pid,
+                               inject::NullInjection::instance(), client);
+        });
+      }
+    }
+  }
+  for (auto& thread : threads) thread.join();
+  const auto finished = std::chrono::steady_clock::now();
+
+  std::size_t checker_threads = 0;
+  for (const auto& engine : engines) {
+    checker_threads += engine->thread_count();
+  }
+
+  for (auto& monitor : monitors) monitor->stop_checking();
+  // Final synchronous check per monitor: drains the tail segment, so a
+  // detection cannot be missed just because the run outpaced the cadence.
+  for (auto& monitor : monitors) monitor->check_now();
+
+  MultiLoadResult result;
+  result.seconds = std::chrono::duration<double>(finished - started).count();
+  result.operations = static_cast<std::uint64_t>(monitor_count) *
+                      static_cast<std::uint64_t>(threads_per_monitor) *
+                      static_cast<std::uint64_t>(pairs) * 2;
+  result.ops_per_second =
+      result.seconds > 0
+          ? static_cast<double>(result.operations) / result.seconds
+          : 0.0;
+  for (std::size_t i = 0; i < monitor_count; ++i) {
+    result.checks_run += monitors[i]->detector().checks_run();
+    result.events_recorded += monitors[i]->monitor().log().total_appended();
+  }
+  result.checks_per_second =
+      result.seconds > 0
+          ? static_cast<double>(result.checks_run) / result.seconds
+          : 0.0;
+  result.checker_threads = checker_threads;
+
+  std::uint64_t engine_checks = 0, quiesce_ns = 0, check_ns = 0;
+  for (const auto& engine : engines) {
+    engine_checks += engine->checks_executed();
+    quiesce_ns += engine->total_quiesce_ns();
+    check_ns += engine->total_check_ns();
+  }
+  if (engine_checks > 0) {
+    result.avg_quiesce_us =
+        static_cast<double>(quiesce_ns) / engine_checks / 1000.0;
+    result.avg_check_us =
+        static_cast<double>(check_ns) / engine_checks / 1000.0;
+  }
+
+  result.faults_expected = faulty;
+  for (std::size_t i = 0; i < monitor_count; ++i) {
+    const bool reported = sinks[i]->count() > 0;
+    if (i < faulty) {
+      if (reported) {
+        ++result.faulty_detected;
+      } else {
+        ++result.missed_detections;
+      }
+    } else if (reported) {
+      ++result.false_positive_monitors;
+    }
+  }
   return result;
 }
 

@@ -44,4 +44,51 @@ struct LoadResult {
 /// Run the closed-loop workload described by `options`.
 LoadResult run_load(const LoadOptions& options);
 
+// --- Multi-monitor scenario (CheckerPool scaling). ---------------------------
+
+/// How the detection runtime is provisioned for a multi-monitor run.
+enum class CheckerMode {
+  kThreadPerMonitor,  ///< One single-thread engine per monitor (old design).
+  kSharedPool,        ///< One CheckerPool with K workers for all monitors.
+};
+
+struct MultiLoadOptions {
+  std::size_t monitors = 8;       ///< M; alternating coordinator/allocator.
+  int threads_per_monitor = 2;    ///< T client threads driving each monitor.
+  std::int64_t ops_per_thread = 200;
+  std::size_t capacity = 8;       ///< Buffer slots / allocator units.
+  /// The first `faulty_monitors` monitors get one deterministic injected
+  /// fault: a fabricated receive on coordinators (II.c), a release-before-
+  /// acquire client on allocators (III.a).  Detection is counted per
+  /// monitor; a correct engine misses none.
+  std::size_t faulty_monitors = 0;
+
+  CheckerMode mode = CheckerMode::kSharedPool;
+  std::size_t pool_threads = 0;   ///< K for kSharedPool; 0 = auto (≤ hw).
+  util::TimeNs check_period = 5 * util::kMillisecond;
+  /// Per-monitor suspend policy; monitors where (index % 2 == 1) get the
+  /// opposite policy when mix_gate_policies is set, exercising coexistence.
+  bool hold_gate_during_check = true;
+  bool mix_gate_policies = false;
+};
+
+struct MultiLoadResult {
+  std::uint64_t operations = 0;       ///< Completed monitor procedure calls.
+  double seconds = 0.0;
+  double ops_per_second = 0.0;
+  std::uint64_t checks_run = 0;       ///< Periodic + final, all monitors.
+  double checks_per_second = 0.0;
+  std::uint64_t events_recorded = 0;
+  std::size_t checker_threads = 0;    ///< Detection threads provisioned.
+  double avg_quiesce_us = 0.0;        ///< Gate-exclusive window per check.
+  double avg_check_us = 0.0;          ///< Full checking routine per check.
+  std::size_t faults_expected = 0;    ///< == faulty_monitors.
+  std::size_t faulty_detected = 0;    ///< Faulty monitors with ≥1 report.
+  std::size_t missed_detections = 0;  ///< Faulty monitors with no report.
+  std::size_t false_positive_monitors = 0;  ///< Clean monitors with reports.
+};
+
+/// Drive M monitors concurrently and account detection per monitor.
+MultiLoadResult run_multi_load(const MultiLoadOptions& options);
+
 }  // namespace robmon::wl
