@@ -47,9 +47,9 @@ Detector::CheckStats Detector::check(
   }
 
   prev_ = current;
-  ++checks_run_;
-  events_processed_ += stats.events;
-  total_violations_ += stats.violations;
+  checks_run_.fetch_add(1, std::memory_order_relaxed);
+  events_processed_.fetch_add(stats.events, std::memory_order_relaxed);
+  total_violations_.fetch_add(stats.violations, std::memory_order_relaxed);
   return stats;
 }
 

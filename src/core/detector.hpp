@@ -11,6 +11,7 @@
 // replayer calls it once per recorded checkpoint.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -52,10 +53,17 @@ class Detector {
   const RequestList& request_list() const { return requests_; }
   const ResourceCounters& counters() const { return counters_; }
 
-  /// Totals over the detector's lifetime.
-  std::uint64_t checks_run() const { return checks_run_; }
-  std::uint64_t events_processed() const { return events_processed_; }
-  std::uint64_t total_violations() const { return total_violations_; }
+  /// Totals over the detector's lifetime.  Atomic: tests and benches poll
+  /// them while a pool worker runs check().
+  std::uint64_t checks_run() const {
+    return checks_run_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t events_processed() const {
+    return events_processed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t total_violations() const {
+    return total_violations_.load(std::memory_order_relaxed);
+  }
 
  private:
   MonitorSpec spec_;
@@ -66,9 +74,9 @@ class Detector {
   ResourceCounters counters_;
   RequestList requests_;
   std::vector<MonitorAssertion> assertions_;
-  std::uint64_t checks_run_ = 0;
-  std::uint64_t events_processed_ = 0;
-  std::uint64_t total_violations_ = 0;
+  std::atomic<std::uint64_t> checks_run_{0};
+  std::atomic<std::uint64_t> events_processed_{0};
+  std::atomic<std::uint64_t> total_violations_{0};
 };
 
 }  // namespace robmon::core

@@ -26,6 +26,7 @@ FaultLevel level_of(FaultKind kind) {
     case FaultKind::kReleaseBeforeAcquire:
     case FaultKind::kResourceNeverReleased:
     case FaultKind::kDoubleAcquireDeadlock:
+    case FaultKind::kGlobalDeadlock:
       return FaultLevel::kUserProcess;
     default:
       return FaultLevel::kImplementation;
@@ -76,6 +77,8 @@ std::string_view to_string(FaultKind kind) {
       return "resource-never-released";
     case FaultKind::kDoubleAcquireDeadlock:
       return "double-acquire-deadlock";
+    case FaultKind::kGlobalDeadlock:
+      return "global-deadlock";
   }
   return "?";
 }
@@ -124,6 +127,8 @@ std::string_view paper_designation(FaultKind kind) {
       return "III.b";
     case FaultKind::kDoubleAcquireDeadlock:
       return "III.c";
+    case FaultKind::kGlobalDeadlock:
+      return "ext.WF";
   }
   return "?";
 }
@@ -189,6 +194,9 @@ std::string_view description(FaultKind kind) {
     case FaultKind::kDoubleAcquireDeadlock:
       return "process deadlocked: re-acquires a held resource without "
              "releasing it";
+    case FaultKind::kGlobalDeadlock:
+      return "global deadlock: circular wait across monitors, each process "
+             "blocked on a resource held by the next";
   }
   return "?";
 }
@@ -274,6 +282,8 @@ std::string_view to_string(RuleId rule) {
       return "real-time call-order violation";
     case RuleId::kUserAssertion:
       return "monitor assertion failed";
+    case RuleId::kWfCycleDetected:
+      return "WF cross-monitor wait-for cycle";
   }
   return "?";
 }
@@ -295,6 +305,7 @@ FaultLevel level_of(RuleId rule) {
     case RuleId::kFd7aAcquireNeverReleased:
     case RuleId::kFd7bReleaseWithoutAcquire:
     case RuleId::kRealTimeOrder:
+    case RuleId::kWfCycleDetected:
       return FaultLevel::kUserProcess;
     case RuleId::kUserAssertion:
       return FaultLevel::kMonitorProcedure;

@@ -53,8 +53,15 @@ enum class FaultKind : std::uint8_t {
   kReleaseBeforeAcquire,    ///< III.a release without prior acquire.
   kResourceNeverReleased,   ///< III.b acquired but never released.
   kDoubleAcquireDeadlock,   ///< III.c re-acquire without release (deadlock).
+  // Extension beyond the paper's 21 classes (pool-level analysis): a
+  // circular wait spanning several monitors, invisible to the per-monitor
+  // Algorithms 1-3 and detected by the CheckerPool's wait-for checkpoint.
+  kGlobalDeadlock,          ///< ext.WF cross-monitor circular wait.
 };
 
+/// The paper's taxonomy size; kGlobalDeadlock is an extension on top and is
+/// deliberately excluded (it is detected structurally at the pool level,
+/// not injected through the per-monitor catalog).
 constexpr std::size_t kFaultKindCount = 21;
 
 FaultLevel level_of(FaultKind kind);
@@ -62,7 +69,8 @@ std::string_view to_string(FaultKind kind);
 std::string_view paper_designation(FaultKind kind);  ///< e.g. "I.a.1".
 std::string_view description(FaultKind kind);
 
-/// All 21 kinds in taxonomy order (for sweeps and the coverage matrix).
+/// The paper's 21 kinds in taxonomy order (for sweeps and the coverage
+/// matrix); excludes the kGlobalDeadlock extension.
 const std::vector<FaultKind>& all_fault_kinds();
 
 /// Identifiers of the rules whose violation the detector reports.
@@ -109,6 +117,9 @@ enum class RuleId : std::uint8_t {
   kRealTimeOrder,
   // Section 5 extension: predefined / user-supplied assertion failed.
   kUserAssertion,
+  // Pool-level extension: wait-for cycle across monitors confirmed at a
+  // CheckerPool checkpoint (suspected fault kGlobalDeadlock).
+  kWfCycleDetected,
 };
 
 std::string_view to_string(RuleId rule);

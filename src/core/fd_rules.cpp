@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/waitfor.hpp"
+
 namespace robmon::core {
 
 namespace {
@@ -364,6 +366,26 @@ std::vector<FaultReport> validate_fd_rules(
         "initial state");
   }
   return FdValidator(spec, symbols, events, states, final_time).run();
+}
+
+std::vector<FaultReport> validate_wait_for(
+    const std::vector<WaitForInput>& monitors, util::TimeNs final_time) {
+  WaitForGraph graph;
+  for (std::size_t i = 0; i < monitors.size(); ++i) {
+    const WaitForInput& input = monitors[i];
+    if (input.state == nullptr || input.symbols == nullptr) {
+      throw std::invalid_argument(
+          "validate_wait_for: null state or symbol table");
+    }
+    graph.update(make_wait_contribution(static_cast<WaitMonitorId>(i + 1),
+                                        input.name, 0, *input.state,
+                                        *input.symbols));
+  }
+  std::vector<FaultReport> reports;
+  for (const DeadlockCycle& cycle : graph.find_cycles()) {
+    reports.push_back(make_cycle_report(cycle, final_time));
+  }
+  return reports;
 }
 
 }  // namespace robmon::core

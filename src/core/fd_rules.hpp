@@ -31,4 +31,20 @@ std::vector<FaultReport> validate_fd_rules(
     const std::vector<trace::SchedulingState>& states,
     util::TimeNs final_time);
 
+/// One monitor's checkpoint state for the cross-monitor WF-Rule below.
+struct WaitForInput {
+  std::string name;  ///< Monitor name, used in the cycle diagnostic.
+  const trace::SchedulingState* state = nullptr;
+  const trace::SymbolTable* symbols = nullptr;
+};
+
+/// WF-Rule (pool-level extension of the declarative validator): given one
+/// checkpoint state per monitor captured at the same checkpoint, report a
+/// kWfCycleDetected fault per wait-for cycle spanning them.  This is the
+/// offline counterpart of the CheckerPool's checkpoint pass: because all
+/// states belong to one recorded instant there is no staleness, so no live
+/// validation step is needed.
+std::vector<FaultReport> validate_wait_for(
+    const std::vector<WaitForInput>& monitors, util::TimeNs final_time);
+
 }  // namespace robmon::core

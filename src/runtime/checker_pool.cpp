@@ -32,7 +32,17 @@ std::size_t clamp_threads(std::size_t requested) {
 
 CheckerPool::CheckerPool(Options options)
     : clock_(options.clock),
-      configured_threads_(clamp_threads(options.threads)) {}
+      configured_threads_(clamp_threads(options.threads)),
+      waitfor_period_(options.waitfor_checkpoint_period > 0
+                          ? std::max(options.waitfor_checkpoint_period,
+                                     kMinPeriodNs)
+                          : 0),
+      waitfor_sink_(options.waitfor_sink) {
+  if (waitfor_period_ > 0 && waitfor_sink_ == nullptr) {
+    throw std::invalid_argument(
+        "CheckerPool: waitfor_checkpoint_period set without a waitfor_sink");
+  }
+}
 
 CheckerPool::~CheckerPool() {
   {
@@ -59,6 +69,7 @@ CheckerPool::MonitorId CheckerPool::add(HoareMonitor& monitor,
 
   std::lock_guard<std::mutex> lock(mu_);
   const MonitorId id = next_id_++;
+  entry->id = id;
   entries_.emplace(id, std::move(entry));
   return id;
 }
@@ -82,6 +93,10 @@ void CheckerPool::schedule(MonitorId id) {
   entry.scheduled = true;
   ++entry.generation;
   heap_.push({wall_now() + entry.period, id, entry.generation});
+  if (waitfor_enabled() && !checkpoint_scheduled_) {
+    heap_.push({wall_now() + waitfor_period_, kCheckpointId, 0});
+    checkpoint_scheduled_ = true;
+  }
   ensure_workers_locked();
   work_cv_.notify_all();
 }
@@ -94,6 +109,11 @@ void CheckerPool::unschedule(MonitorId id) {
   entry.scheduled = false;
   ++entry.generation;  // invalidates every heap item for this monitor
   idle_cv_.wait(lock, [&entry] { return entry.busy == 0; });
+  // Withdraw the wait-for contribution: it would never be refreshed again
+  // and every checkpoint would re-derive (and re-validate) candidates from
+  // it.  A later check_now()/schedule() re-contributes.
+  std::lock_guard<std::mutex> graph_lock(graph_mu_);
+  graph_.erase(id);
 }
 
 void CheckerPool::remove(MonitorId id) {
@@ -105,6 +125,10 @@ void CheckerPool::remove(MonitorId id) {
   ++entry.generation;
   idle_cv_.wait(lock, [&entry] { return entry.busy == 0; });
   entries_.erase(it);  // stale heap items are discarded by the workers
+  // No check of this monitor is in flight or can start (busy drained above),
+  // so nothing can re-contribute this id's edges after the erase.
+  std::lock_guard<std::mutex> graph_lock(graph_mu_);
+  graph_.erase(id);
 }
 
 core::Detector::CheckStats CheckerPool::check_now(MonitorId id) {
@@ -185,8 +209,128 @@ core::Detector::CheckStats CheckerPool::run_check(Entry& entry) {
       std::memory_order_relaxed);
   total_check_ns_.fetch_add(static_cast<std::uint64_t>(finished - started),
                             std::memory_order_relaxed);
+  if (waitfor_enabled() && entry.options.contribute_wait_edges) {
+    contribute_wait_edges(entry, *state);
+  }
   if (entry.options.on_checkpoint) entry.options.on_checkpoint(*state);
   return stats;
+}
+
+void CheckerPool::contribute_wait_edges(const Entry& entry,
+                                        const trace::SchedulingState& state) {
+  // Resolve names and copy queues outside the graph lock; only the swap-in
+  // (and the epoch stamp) happens under it.
+  core::WaitContribution contribution = core::make_wait_contribution(
+      entry.id, entry.monitor->spec().name, 0, state,
+      entry.monitor->symbols());
+  std::lock_guard<std::mutex> lock(graph_mu_);
+  contribution.epoch = graph_epoch_;
+  graph_.update(std::move(contribution));
+}
+
+bool CheckerPool::validate_cycle(const core::DeadlockCycle& cycle) {
+  // Pin every participating monitor so remove() cannot free an entry while
+  // we re-snapshot it.  A monitor that already unregistered voids the cycle.
+  std::vector<Entry*> pinned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& link : cycle.links) {
+      auto it = entries_.find(link.monitor);
+      if (it == entries_.end()) {
+        for (Entry* entry : pinned) --entry->busy;
+        if (!pinned.empty()) idle_cv_.notify_all();
+        return false;
+      }
+      Entry* entry = it->second.get();
+      // A cycle may traverse one monitor more than once; pin per link so
+      // the unpin below is symmetric.
+      ++entry->busy;
+      pinned.push_back(entry);
+    }
+  }
+  // Two sequential live passes, each re-snapshotting every participating
+  // monitor.  One pass is not enough for exactness: its snapshots are taken
+  // at different instants, so link A could be confirmed at t1, dissolve,
+  // and link B (formed only after A dissolved) be confirmed at t2 — a
+  // "cycle" that never coexisted.  With two passes, a link confirmed in
+  // both with the SAME blocking episode (same enqueue timestamp) and the
+  // same hold start was continuously blocked/held across the boundary
+  // between the passes — a parked thread cannot release anything, and a
+  // re-formed wait or hold carries a fresh monotonic timestamp.  So every
+  // edge of the cycle exists simultaneously at the instant pass 1 ended,
+  // and the deadlock is real; a cycle that resolved before the checkpoint
+  // fails here and is never reported.
+  //
+  // Precondition: the monitor clock yields distinct timestamps for
+  // distinct blocking episodes (any monotonic clock does).  Under a frozen
+  // ManualClock episodes alias, and the guarantee degrades to "every link
+  // was individually present at both passes" — re-formed waits become
+  // indistinguishable from continuous ones.  Per-episode tickets in the
+  // snapshot would close this (see ROADMAP).
+  bool confirmed = true;
+  for (int pass = 0; pass < 2 && confirmed; ++pass) {
+    for (std::size_t i = 0; i < cycle.links.size() && confirmed; ++i) {
+      const auto& link = cycle.links[i];
+      const trace::SchedulingState state = pinned[i]->monitor->snapshot();
+      confirmed =
+          core::link_holds_in(link, state, pinned[i]->monitor->symbols());
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Entry* entry : pinned) --entry->busy;
+  }
+  idle_cv_.notify_all();
+  return confirmed;
+}
+
+std::size_t CheckerPool::run_waitfor_checkpoint() {
+  if (!waitfor_enabled()) return 0;
+  std::lock_guard<std::mutex> pass_lock(checkpoint_pass_mu_);
+  std::vector<core::DeadlockCycle> candidates;
+  {
+    std::lock_guard<std::mutex> lock(graph_mu_);
+    ++graph_epoch_;
+    candidates = graph_.find_cycles();
+  }
+  waitfor_checkpoints_.fetch_add(1, std::memory_order_relaxed);
+
+  std::size_t confirmed_count = 0;
+  std::unordered_set<std::string> confirmed_keys;
+  for (const core::DeadlockCycle& cycle : candidates) {
+    if (!validate_cycle(cycle)) continue;
+    ++confirmed_count;
+    const std::string key = cycle.key();
+    confirmed_keys.insert(key);
+    bool already_reported;
+    {
+      std::lock_guard<std::mutex> lock(graph_mu_);
+      already_reported = !reported_cycles_.insert(key).second;
+    }
+    if (already_reported) continue;
+    deadlocks_reported_.fetch_add(1, std::memory_order_relaxed);
+    waitfor_sink_->report(core::make_cycle_report(cycle, clock_->now_ns()));
+  }
+
+  // Forget cycles that no longer hold, so a deadlock that dissolves (e.g.
+  // poisoned monitors) and later re-forms is reported again.
+  {
+    std::lock_guard<std::mutex> lock(graph_mu_);
+    std::erase_if(reported_cycles_, [&](const std::string& key) {
+      return confirmed_keys.find(key) == confirmed_keys.end();
+    });
+  }
+  return confirmed_count;
+}
+
+std::uint64_t CheckerPool::waitfor_epoch() const {
+  std::lock_guard<std::mutex> lock(graph_mu_);
+  return graph_epoch_;
+}
+
+std::size_t CheckerPool::waitfor_graph_monitors() const {
+  std::lock_guard<std::mutex> lock(graph_mu_);
+  return graph_.monitor_count();
 }
 
 void CheckerPool::worker_loop() {
@@ -197,6 +341,32 @@ void CheckerPool::worker_loop() {
       continue;
     }
     const HeapItem top = heap_.top();
+    if (top.id == kCheckpointId) {
+      const util::TimeNs now = wall_now();
+      if (top.due > now) {
+        work_cv_.wait_for(lock, std::chrono::nanoseconds(top.due - now));
+        continue;
+      }
+      heap_.pop();  // this worker owns the pass; re-pushed when done
+      lock.unlock();
+      run_waitfor_checkpoint();
+      lock.lock();
+      const bool any_scheduled =
+          std::any_of(entries_.begin(), entries_.end(), [](const auto& kv) {
+            return kv.second->scheduled;
+          });
+      if (!any_scheduled) {
+        // Nothing is being checked, so nothing refreshes the graph
+        // (unschedule also withdrew the contributions); schedule() re-arms
+        // on the next scheduling instead of waking a worker every period
+        // for an empty graph.
+        checkpoint_scheduled_ = false;
+      } else {
+        heap_.push({wall_now() + waitfor_period_, kCheckpointId, 0});
+        work_cv_.notify_one();
+      }
+      continue;
+    }
     auto it = entries_.find(top.id);
     if (it == entries_.end() || it->second->generation != top.generation ||
         !it->second->scheduled) {

@@ -18,6 +18,20 @@
 // synchronous check from the caller's thread and needs no workers, so a
 // never-scheduled pool is free.  Worker threads spawn lazily on the first
 // schedule() and are joined by the destructor.
+//
+// Cross-monitor deadlock detection (Options::waitfor_checkpoint_period):
+// every check additionally folds the monitor's snapshot into a shared
+// epoch-versioned core::WaitForGraph; a pool-level checkpoint item on the
+// same deadline heap periodically runs cycle detection over the graph.
+// Candidate cycles may rest on snapshots taken at different times, so each
+// one is confirmed against *live* re-snapshots of the participating
+// monitors (same blocking episode, same hold start) before a GlobalDeadlock
+// fault naming the full thread/monitor cycle goes to the waitfor sink — a
+// cycle that resolved before the checkpoint is never reported.  (Episodes
+// are identified by their enqueue timestamps, so the zero-false-positive
+// guarantee assumes a clock with distinct ticks per episode; a frozen
+// ManualClock weakens it to per-link validation.)  A confirmed cycle is
+// reported once and re-armed if it ever dissolves.
 #pragma once
 
 #include <atomic>
@@ -29,9 +43,11 @@
 #include <queue>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/detector.hpp"
+#include "core/waitfor.hpp"
 #include "runtime/hoare_monitor.hpp"
 
 namespace robmon::rt {
@@ -47,6 +63,12 @@ class CheckerPool {
     /// original PeriodicChecker loop, so a frozen ManualClock cannot stall
     /// periodic checking.
     const util::Clock* clock = &util::SteadyClock::instance();
+    /// Cadence of the pool-level wait-for checkpoint (wall-clock, like the
+    /// check cadence).  0 disables cross-monitor deadlock detection.
+    util::TimeNs waitfor_checkpoint_period = 0;
+    /// Destination for GlobalDeadlock faults; required when the checkpoint
+    /// is enabled.
+    core::ReportSink* waitfor_sink = nullptr;
   };
 
   /// Per-monitor policy — the knobs PeriodicChecker::Options exposed.
@@ -54,6 +76,9 @@ class CheckerPool {
     /// Keep monitor traffic suspended while the algorithms run (paper
     /// behaviour).  false = release the gate right after the snapshot.
     bool hold_gate_during_check = true;
+    /// Fold this monitor's snapshots into the pool-level wait-for graph
+    /// (no-op unless Options::waitfor_checkpoint_period is set).
+    bool contribute_wait_edges = true;
     /// Invoked with every checkpoint state (replayable-trace support).
     std::function<void(const trace::SchedulingState&)> on_checkpoint;
   };
@@ -89,6 +114,13 @@ class CheckerPool {
   /// serialized against any worker checking the same monitor.
   core::Detector::CheckStats check_now(MonitorId id);
 
+  /// One synchronous wait-for checkpoint pass on the caller's thread:
+  /// cycle detection over the contributed graph, live validation of every
+  /// candidate, reporting of confirmed cycles.  Returns the number of
+  /// cycles confirmed in this pass (reported ones plus already-known ones).
+  /// No-op returning 0 when the checkpoint is disabled.
+  std::size_t run_waitfor_checkpoint();
+
   // --- Introspection (bench/pool_scaling, tests). ---------------------------
 
   /// Worker threads currently running (0 until the first schedule()).
@@ -112,8 +144,25 @@ class CheckerPool {
     return total_check_ns_.load(std::memory_order_relaxed);
   }
 
+  /// Wait-for checkpoint passes executed (periodic + run_waitfor_checkpoint).
+  std::uint64_t waitfor_checkpoints() const {
+    return waitfor_checkpoints_.load(std::memory_order_relaxed);
+  }
+  /// GlobalDeadlock faults delivered to the waitfor sink.
+  std::uint64_t deadlocks_reported() const {
+    return deadlocks_reported_.load(std::memory_order_relaxed);
+  }
+  /// Current checkpoint epoch (bumped at the start of every pass).
+  std::uint64_t waitfor_epoch() const;
+  /// Monitors currently contributing edges to the wait-for graph.
+  std::size_t waitfor_graph_monitors() const;
+
  private:
+  /// Reserved heap id for the pool-level wait-for checkpoint item.
+  static constexpr MonitorId kCheckpointId = 0;
+
   struct Entry {
+    MonitorId id = 0;
     HoareMonitor* monitor = nullptr;
     core::Detector* detector = nullptr;
     MonitorOptions options;
@@ -138,8 +187,20 @@ class CheckerPool {
   void ensure_workers_locked();
   core::Detector::CheckStats run_check(Entry& entry);
 
+  bool waitfor_enabled() const {
+    return waitfor_period_ > 0 && waitfor_sink_ != nullptr;
+  }
+  /// Fold `state` into the wait-for graph as `entry`'s current edge set.
+  void contribute_wait_edges(const Entry& entry,
+                             const trace::SchedulingState& state);
+  /// Live validation: re-snapshot the cycle's monitors and require every
+  /// link to still hold (same blocking episode, same hold start).
+  bool validate_cycle(const core::DeadlockCycle& cycle);
+
   const util::Clock* clock_;
   std::size_t configured_threads_;
+  util::TimeNs waitfor_period_ = 0;
+  core::ReportSink* waitfor_sink_ = nullptr;
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;   ///< Heap / stop changes.
@@ -147,12 +208,33 @@ class CheckerPool {
   std::unordered_map<MonitorId, std::unique_ptr<Entry>> entries_;
   std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap_;
   std::vector<std::thread> workers_;
-  MonitorId next_id_ = 1;
+  MonitorId next_id_ = 1;  ///< 0 is kCheckpointId; real monitors start at 1.
   bool stop_ = false;
+  bool checkpoint_scheduled_ = false;  ///< Checkpoint item lives on the heap.
+
+  /// Wait-for state.  Lock order: checkpoint_pass_mu_ before mu_ before
+  /// graph_mu_, never the reverse.
+  /// Serializes whole checkpoint passes: a periodic worker pass racing a
+  /// synchronous run_waitfor_checkpoint() could otherwise erase the other
+  /// pass's reported_cycles_ entry and double-report a persisting cycle.
+  std::mutex checkpoint_pass_mu_;
+  mutable std::mutex graph_mu_;
+  core::WaitForGraph graph_;
+  /// Bumped per checkpoint pass and stamped into contributions — the
+  /// version telemetry behind waitfor_epoch()/WaitContribution::epoch.
+  /// Exactness comes from live validation, not epoch gating: filtering
+  /// candidates by epoch would lose monitors whose check cadence is slower
+  /// than the checkpoint cadence.
+  std::uint64_t graph_epoch_ = 0;
+  /// Keys of cycles confirmed at the previous pass (suppresses duplicate
+  /// reports while a deadlock persists; cleared when the cycle dissolves).
+  std::unordered_set<std::string> reported_cycles_;
 
   std::atomic<std::uint64_t> checks_executed_{0};
   std::atomic<std::uint64_t> total_quiesce_ns_{0};
   std::atomic<std::uint64_t> total_check_ns_{0};
+  std::atomic<std::uint64_t> waitfor_checkpoints_{0};
+  std::atomic<std::uint64_t> deadlocks_reported_{0};
 };
 
 }  // namespace robmon::rt

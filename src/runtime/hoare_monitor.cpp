@@ -75,6 +75,19 @@ std::int64_t HoareMonitor::resources() const {
   return resources_;
 }
 
+void HoareMonitor::note_hold(trace::Pid pid) {
+  std::lock_guard<sync::SpinLock> lock(mu_);
+  auto [it, inserted] = holds_.try_emplace(pid, 0, now());
+  ++it->second.first;
+}
+
+void HoareMonitor::note_release(trace::Pid pid) {
+  std::lock_guard<sync::SpinLock> lock(mu_);
+  auto it = holds_.find(pid);
+  if (it == holds_.end()) return;  // release-before-acquire client bug
+  if (--it->second.first <= 0) holds_.erase(it);
+}
+
 Status HoareMonitor::enter(trace::Pid pid, trace::SymbolId proc_id) {
   Waiter self{pid, proc_id, 0, {}};
   bool must_park = false;
@@ -342,6 +355,9 @@ trace::SchedulingState HoareMonitor::snapshot() const {
     state.resources = resources_;
   } else {
     state.resources = resource_gauge_ ? resource_gauge_() : -1;
+  }
+  for (const auto& [pid, hold] : holds_) {  // std::map: already pid-sorted
+    state.holders.push_back({pid, hold.first, hold.second});
   }
   if (owner_) {
     state.running = *owner_;

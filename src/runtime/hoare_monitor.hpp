@@ -95,6 +95,15 @@ class HoareMonitor {
   void track_resources(std::int64_t initial);
   std::int64_t resources() const;
 
+  /// Hold registry: the workload wrapper records that `pid` was granted /
+  /// returned one resource unit.  Holds appear in snapshot().holders and
+  /// feed the pool-level wait-for graph's monitor→thread edges.  note_hold
+  /// must be called while `pid` is still inside the monitor (before the
+  /// exit that completes the grant) so a checkpoint can never observe the
+  /// thread blocked elsewhere without the hold edge being visible.
+  void note_hold(trace::Pid pid);
+  void note_release(trace::Pid pid);
+
   // --- Observation / control. ----------------------------------------------
 
   trace::SchedulingState snapshot() const;
@@ -166,6 +175,8 @@ class HoareMonitor {
   std::map<trace::SymbolId, std::deque<Waiter*>> cond_queues_;
   std::map<trace::Pid, trace::SymbolId> inside_proc_;
   std::vector<Waiter*> lost_waiters_;  ///< Parked forever by injection.
+  /// pid → (units held, start of oldest outstanding hold).
+  std::map<trace::Pid, std::pair<std::int64_t, util::TimeNs>> holds_;
   std::function<std::int64_t()> resource_gauge_;
   bool track_resources_ = false;
   std::int64_t resources_ = -1;

@@ -16,6 +16,7 @@ RobustMonitor::RobustMonitor(core::MonitorSpec spec, core::ReportSink& sink,
   // engine paths only differ in who owns the scheduling thread(s).
   CheckerPool::MonitorOptions policy;
   policy.hold_gate_during_check = options_.hold_gate_during_check;
+  policy.contribute_wait_edges = options_.contribute_wait_edges;
   if (options_.retain_trace) {
     policy.on_checkpoint = [this](const trace::SchedulingState& s) {
       std::lock_guard<std::mutex> lock(checkpoints_mu_);

@@ -54,6 +54,10 @@ class RobustMonitor {
     /// monitor.  hold_gate_during_check stays a per-monitor policy either
     /// way.
     CheckerPool* checker_pool = nullptr;
+    /// Contribute this monitor's snapshots to the pool's cross-monitor
+    /// wait-for graph (only meaningful when the pool has its wait-for
+    /// checkpoint enabled).
+    bool contribute_wait_edges = true;
   };
 
   RobustMonitor(core::MonitorSpec spec, core::ReportSink& sink);
@@ -79,6 +83,11 @@ class RobustMonitor {
   void track_resources(std::int64_t initial) {
     monitor_.track_resources(initial);
   }
+
+  /// Hold registry passthrough: record that `pid` was granted / returned a
+  /// resource unit (wait-for graph monitor→thread edges).
+  void note_hold(trace::Pid pid) { monitor_.note_hold(pid); }
+  void note_release(trace::Pid pid) { monitor_.note_release(pid); }
 
   // --- Detection control. ---------------------------------------------------
 

@@ -30,11 +30,16 @@ bool Semaphore::try_acquire() {
   return true;
 }
 
+// release() and poison() notify while *holding* mu_.  Waiters live on the
+// stack of the blocked thread (HoareMonitor::Waiter) and are destroyed the
+// moment acquire() returns; notifying after unlock would let the woken
+// thread destroy the condition variable while the notify call is still
+// touching it.  Under the lock the waiter cannot re-acquire mu_ (and thus
+// cannot return) until the notify has completed.
+
 void Semaphore::release(std::int64_t permits) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    count_ += permits;
-  }
+  std::lock_guard<std::mutex> lock(mu_);
+  count_ += permits;
   if (permits == 1) {
     cv_.notify_one();
   } else {
@@ -43,10 +48,8 @@ void Semaphore::release(std::int64_t permits) {
 }
 
 void Semaphore::poison() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    poisoned_ = true;
-  }
+  std::lock_guard<std::mutex> lock(mu_);
+  poisoned_ = true;
   cv_.notify_all();
 }
 

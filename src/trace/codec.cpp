@@ -71,6 +71,10 @@ void write_trace(std::ostream& out, const TraceFile& trace) {
         out << "cq " << queue.cond << " -1 -1 0\n";  // declare empty queue
       }
     }
+    for (const auto& hold : state.holders) {
+      out << "hold " << hold.pid << " " << hold.units << " "
+          << hold.held_since << "\n";
+    }
     out << "endstate\n";
   }
 }
@@ -150,6 +154,12 @@ TraceFile read_trace(std::istream& in) {
         return &current.cond_queues.back();
       }();
       if (entry.pid != kNoPid) queue_state->entries.push_back(entry);
+    } else if (tag == "hold") {
+      if (!in_state) parse_error(line_no, "hold outside state block");
+      HoldEntry hold;
+      fields >> hold.pid >> hold.units >> hold.held_since;
+      if (fields.fail()) parse_error(line_no, "bad hold line");
+      current.holders.push_back(hold);
     } else if (tag == "endstate") {
       if (!in_state) parse_error(line_no, "endstate outside state block");
       trace.checkpoints.push_back(current);

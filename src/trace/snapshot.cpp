@@ -22,6 +22,13 @@ std::size_t SchedulingState::blocked_count() const {
   return n;
 }
 
+const HoldEntry* SchedulingState::hold_of(Pid pid) const {
+  for (const auto& hold : holders) {
+    if (hold.pid == pid) return &hold;
+  }
+  return nullptr;
+}
+
 std::string describe(const SchedulingState& state,
                      const SymbolTable& symbols) {
   std::ostringstream out;
@@ -46,6 +53,14 @@ std::string describe(const SchedulingState& state,
       if (i) out << ", ";
       out << "p" << queue.entries[i].pid << "("
           << symbols.name(queue.entries[i].proc) << ")";
+    }
+    out << "]";
+  }
+  if (!state.holders.empty()) {
+    out << "\n  holds: [";
+    for (std::size_t i = 0; i < state.holders.size(); ++i) {
+      if (i) out << ", ";
+      out << "p" << state.holders[i].pid << "x" << state.holders[i].units;
     }
     out << "]";
   }

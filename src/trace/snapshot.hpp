@@ -32,6 +32,18 @@ struct CondQueueState {
   bool operator==(const CondQueueState&) const = default;
 };
 
+/// One process holding a unit of the monitor's resource (registered by the
+/// workload wrapper via HoareMonitor::note_hold; allocator monitors).  The
+/// holds plus the blocked queues give the pool-level wait-for graph its
+/// monitor→thread and thread→monitor edges.
+struct HoldEntry {
+  Pid pid = kNoPid;
+  std::int64_t units = 0;        ///< Units currently held (≥ 1).
+  util::TimeNs held_since = 0;   ///< Start of the oldest outstanding hold.
+
+  bool operator==(const HoldEntry&) const = default;
+};
+
 /// Snapshot of a monitor's scheduling state at a checking point.
 struct SchedulingState {
   util::TimeNs captured_at = 0;
@@ -46,6 +58,10 @@ struct SchedulingState {
   /// buffer slots for a bounded buffer).  -1 when not applicable.
   std::int64_t resources = -1;
 
+  /// Outstanding resource holds, sorted by pid (allocator monitors with a
+  /// hold registry; empty otherwise).
+  std::vector<HoldEntry> holders;
+
   /// The process currently running inside the monitor, if any.
   Pid running = kNoPid;
   SymbolId running_proc = kNoSymbol;
@@ -58,6 +74,9 @@ struct SchedulingState {
 
   /// Total processes blocked on EQ plus all condition queues.
   std::size_t blocked_count() const;
+
+  /// Hold entry for `pid`; nullptr when it holds nothing.
+  const HoldEntry* hold_of(Pid pid) const;
 
   bool operator==(const SchedulingState&) const = default;
 };

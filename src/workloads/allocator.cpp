@@ -13,6 +13,10 @@ ResourceAllocator::ResourceAllocator(rt::RobustMonitor& monitor,
   monitor_->set_resource_gauge([this] { return available(); });
 }
 
+ResourceAllocator::~ResourceAllocator() {
+  monitor_->set_resource_gauge(nullptr);
+}
+
 std::int64_t ResourceAllocator::available() const {
   std::lock_guard<std::mutex> lock(units_mu_);
   return units_;
@@ -33,6 +37,9 @@ rt::Status ResourceAllocator::acquire(trace::Pid pid) {
     std::lock_guard<std::mutex> lock(units_mu_);
     --units_;
   }
+  // Register the hold before exiting the monitor: once this thread can
+  // block elsewhere, the wait-for graph's hold edge is already visible.
+  monitor_->note_hold(pid);
   monitor_->exit(pid);
   return rt::Status::kOk;
 }
@@ -46,6 +53,9 @@ rt::Status ResourceAllocator::release(trace::Pid pid) {
     std::lock_guard<std::mutex> lock(units_mu_);
     ++units_;
   }
+  // Drop the hold edge before the unit is actually handed over; a missing
+  // edge can only hide a cycle for one checkpoint, never fabricate one.
+  monitor_->note_release(pid);
   monitor_->signal_exit(pid, "available");
   return rt::Status::kOk;
 }

@@ -23,6 +23,10 @@ class ResourceAllocator {
   /// `monitor` must be an allocator-type RobustMonitor.
   ResourceAllocator(rt::RobustMonitor& monitor, std::int64_t units);
 
+  /// Unregisters the resource gauge: the monitor may outlive this wrapper
+  /// and its checker would otherwise call a gauge capturing a dead `this`.
+  ~ResourceAllocator();
+
   /// Monitor procedure "Acquire": blocks on condition "available" while no
   /// unit is free.
   rt::Status acquire(trace::Pid pid);

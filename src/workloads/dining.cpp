@@ -5,27 +5,53 @@
 #include <memory>
 #include <thread>
 
+#include "runtime/checker_pool.hpp"
 #include "workloads/allocator.hpp"
 
 namespace robmon::wl {
+
+namespace {
+
+bool is_timeout_rule(core::RuleId rule) {
+  return rule == core::RuleId::kSt8cHoldExceedsTlimit ||
+         rule == core::RuleId::kSt5ResidenceExceedsTmax ||
+         rule == core::RuleId::kSt6EntryWaitExceedsTio;
+}
+
+core::MonitorSpec fork_spec(const std::string& name, util::TimeNs t_limit,
+                            util::TimeNs t_max, util::TimeNs t_io,
+                            util::TimeNs check_period) {
+  core::MonitorSpec spec = core::MonitorSpec::allocator(name);
+  spec.t_limit = t_limit;
+  spec.t_max = t_max;
+  spec.t_io = t_io;
+  spec.check_period = check_period;
+  return spec;
+}
+
+}  // namespace
 
 DiningResult run_dining(const DiningOptions& options) {
   const int n = options.philosophers;
 
   core::CollectingSink sink;
+  // The pool outlives the monitors (their destructors unregister).
+  rt::CheckerPool::Options pool_options;
+  pool_options.waitfor_checkpoint_period = options.checkpoint_period;
+  pool_options.waitfor_sink = &sink;
+  rt::CheckerPool pool(pool_options);
+
   std::vector<std::unique_ptr<rt::RobustMonitor>> fork_monitors;
   std::vector<std::unique_ptr<ResourceAllocator>> forks;
   fork_monitors.reserve(static_cast<std::size_t>(n));
   forks.reserve(static_cast<std::size_t>(n));
+  rt::RobustMonitor::Options monitor_options;
+  monitor_options.checker_pool = &pool;
   for (int f = 0; f < n; ++f) {
-    core::MonitorSpec spec =
-        core::MonitorSpec::allocator("fork-" + std::to_string(f));
-    spec.t_limit = options.t_limit;
-    spec.t_max = options.t_max;
-    spec.t_io = options.t_io;
-    spec.check_period = options.check_period;
-    fork_monitors.push_back(
-        std::make_unique<rt::RobustMonitor>(spec, sink));
+    fork_monitors.push_back(std::make_unique<rt::RobustMonitor>(
+        fork_spec("fork-" + std::to_string(f), options.t_limit, options.t_max,
+                  options.t_io, options.check_period),
+        sink, monitor_options));
     forks.push_back(
         std::make_unique<ResourceAllocator>(*fork_monitors.back(), 1));
     fork_monitors.back()->start_checking();
@@ -63,12 +89,13 @@ DiningResult run_dining(const DiningOptions& options) {
     });
   }
 
-  // Watchdog: wait for completion or the timeout, then poison the forks so
-  // that deadlocked philosophers unwind.
+  // Watchdog: wait for completion, a confirmed structural deadlock, or the
+  // timeout; then poison the forks so that deadlocked philosophers unwind.
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::nanoseconds(options.run_timeout);
   while (finished.load(std::memory_order_relaxed) < n &&
          std::chrono::steady_clock::now() < deadline) {
+    if (sink.any_with_rule(core::RuleId::kWfCycleDetected)) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
   const bool completed = finished.load(std::memory_order_relaxed) == n;
@@ -86,10 +113,162 @@ DiningResult run_dining(const DiningOptions& options) {
   result.reports = sink.reports();
   result.fault_reports = result.reports.size();
   for (const auto& report : result.reports) {
-    if (report.rule == core::RuleId::kSt8cHoldExceedsTlimit ||
-        report.rule == core::RuleId::kSt5ResidenceExceedsTmax ||
-        report.rule == core::RuleId::kSt6EntryWaitExceedsTio) {
-      result.deadlock_reported = true;
+    if (is_timeout_rule(report.rule)) result.deadlock_reported = true;
+    if (report.rule == core::RuleId::kWfCycleDetected) {
+      result.global_deadlock_reported = true;
+      result.cycles.push_back(report.message);
+    }
+  }
+  return result;
+}
+
+DiningLoadResult run_dining_load(const DiningLoadOptions& options) {
+  const std::size_t rings = options.rings;
+  const int n = options.philosophers;
+  const std::size_t forks_per_ring = static_cast<std::size_t>(n);
+  const std::size_t deadlock_rings = std::min(options.deadlock_rings, rings);
+  const std::size_t clean_rings = rings - deadlock_rings;
+
+  core::CollectingSink sink;
+  rt::CheckerPool::Options pool_options;
+  pool_options.threads = options.pool_threads;
+  pool_options.waitfor_checkpoint_period = options.checkpoint_period;
+  pool_options.waitfor_sink = &sink;
+  rt::CheckerPool pool(pool_options);
+
+  std::vector<std::unique_ptr<rt::RobustMonitor>> fork_monitors;
+  std::vector<std::unique_ptr<ResourceAllocator>> forks;
+  fork_monitors.reserve(rings * forks_per_ring);
+  forks.reserve(rings * forks_per_ring);
+  rt::RobustMonitor::Options monitor_options;
+  monitor_options.checker_pool = &pool;
+  for (std::size_t r = 0; r < rings; ++r) {
+    for (int f = 0; f < n; ++f) {
+      fork_monitors.push_back(std::make_unique<rt::RobustMonitor>(
+          fork_spec("r" + std::to_string(r) + "-fork" + std::to_string(f),
+                    options.t_limit, options.t_max, options.t_io,
+                    options.check_period),
+          sink, monitor_options));
+      forks.push_back(
+          std::make_unique<ResourceAllocator>(*fork_monitors.back(), 1));
+      fork_monitors.back()->start_checking();
+    }
+  }
+  const auto fork_at = [&](std::size_t ring, int f) -> ResourceAllocator& {
+    return *forks[ring * forks_per_ring + static_cast<std::size_t>(f)];
+  };
+
+  // Rendezvous counters for the injected hold-and-wait cycles: a ring's
+  // philosophers all take their left fork before anyone reaches for the
+  // right one, making the circular wait certain, not just likely.
+  std::vector<std::unique_ptr<std::atomic<int>>> left_held;
+  for (std::size_t r = 0; r < deadlock_rings; ++r) {
+    left_held.push_back(std::make_unique<std::atomic<int>>(0));
+  }
+
+  std::atomic<std::size_t> clean_finished{0};
+  // Raised before the forks are poisoned: a ring whose rendezvous never
+  // completed (e.g. the watchdog timed out first) must abandon the spin
+  // wait below instead of spinning forever against ring-mates that
+  // unwound with kPoisoned.
+  std::atomic<bool> tearing_down{false};
+  std::vector<std::thread> threads;
+  for (std::size_t r = 0; r < rings; ++r) {
+    const bool inject_deadlock = r < deadlock_rings;
+    for (int p = 0; p < n; ++p) {
+      threads.emplace_back([&, r, p, inject_deadlock] {
+        const trace::Pid pid =
+            static_cast<trace::Pid>(r * forks_per_ring) + p;
+        if (inject_deadlock) {
+          const int left = p;
+          const int right = (p + 1) % n;
+          if (fork_at(r, left).acquire(pid) != rt::Status::kOk) return;
+          std::atomic<int>& held = *left_held[r];
+          held.fetch_add(1, std::memory_order_acq_rel);
+          while (held.load(std::memory_order_acquire) < n) {
+            if (tearing_down.load(std::memory_order_acquire)) return;
+            std::this_thread::sleep_for(std::chrono::microseconds(100));
+          }
+          // Every left fork is taken: this acquire can only block, closing
+          // the ring-wide circular wait.  Poison unwinds it at teardown.
+          (void)fork_at(r, right).acquire(pid);
+          return;
+        }
+        // Clean ring: asymmetric grab order, cannot deadlock.
+        int first = p;
+        int second = (p + 1) % n;
+        if (p == n - 1) std::swap(first, second);
+        for (int round = 0; round < options.rounds; ++round) {
+          if (fork_at(r, first).acquire(pid) != rt::Status::kOk) return;
+          if (fork_at(r, second).acquire(pid) != rt::Status::kOk) return;
+          std::this_thread::sleep_for(
+              std::chrono::nanoseconds(options.eat_ns));
+          fork_at(r, second).release(pid);
+          fork_at(r, first).release(pid);
+          std::this_thread::sleep_for(
+              std::chrono::nanoseconds(options.think_ns));
+        }
+        clean_finished.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+  }
+
+  // Ring of a WF report: its pid encodes ring * philosophers + seat.
+  const auto ring_of = [&](trace::Pid pid) -> std::size_t {
+    return static_cast<std::size_t>(pid) / forks_per_ring;
+  };
+  const auto detected_rings = [&] {
+    std::vector<bool> seen(rings, false);
+    for (const auto& report : sink.reports()) {
+      if (report.rule != core::RuleId::kWfCycleDetected) continue;
+      if (report.pid == trace::kNoPid) continue;
+      const std::size_t ring = ring_of(report.pid);
+      if (ring < rings) seen[ring] = true;
+    }
+    return seen;
+  };
+
+  const std::size_t clean_threads = clean_rings * static_cast<std::size_t>(n);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::nanoseconds(options.run_timeout);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const std::vector<bool> seen = detected_rings();
+    std::size_t injected_seen = 0;
+    for (std::size_t r = 0; r < deadlock_rings; ++r) {
+      if (seen[r]) ++injected_seen;
+    }
+    if (injected_seen == deadlock_rings &&
+        clean_finished.load(std::memory_order_relaxed) == clean_threads) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  tearing_down.store(true, std::memory_order_release);
+  for (auto& monitor : fork_monitors) monitor->poison();
+  for (auto& thread : threads) thread.join();
+  for (auto& monitor : fork_monitors) monitor->stop_checking();
+
+  DiningLoadResult result;
+  result.deadlocks_expected = deadlock_rings;
+  result.clean_rings_completed =
+      clean_finished.load(std::memory_order_relaxed) == clean_threads;
+  result.checkpoints_run = pool.waitfor_checkpoints();
+  result.reports = sink.reports();
+  result.fault_reports = result.reports.size();
+  const std::vector<bool> seen = detected_rings();
+  for (std::size_t r = 0; r < rings; ++r) {
+    if (!seen[r]) continue;
+    if (r < deadlock_rings) {
+      ++result.deadlocked_rings_detected;
+    } else {
+      ++result.false_positive_rings;
+    }
+  }
+  result.missed_detections =
+      result.deadlocks_expected - result.deadlocked_rings_detected;
+  for (const auto& report : result.reports) {
+    if (report.rule == core::RuleId::kWfCycleDetected) {
+      result.cycles.push_back(report.message);
     }
   }
   return result;

@@ -115,7 +115,7 @@ TEST(AutomatonTest, NestedExpression) {
 }
 
 TEST(AutomatonTest, MinimizationPreservesLanguage) {
-  for (const std::string& expression :
+  for (const std::string expression :
        {"(Acquire ; Release)*", "A , (B ; C)", "(A ; B)+ , C?",
         "((A , B) ; C)*", "A? ; B? ; C?"}) {
     const NodePtr ast = parse(expression);

@@ -319,6 +319,32 @@ TEST(DiningTest, SymmetricOrderDeadlockIsDetected) {
   options.run_timeout = 1500 * kMillisecond;
   const wl::DiningResult result = wl::run_dining(options);
   EXPECT_FALSE(result.completed);
+  // The pool-level checkpoint names the cycle structurally, well before any
+  // of the ST-5/6/8c timeout rules can reach the same verdict.
+  EXPECT_TRUE(result.global_deadlock_reported);
+  ASSERT_FALSE(result.cycles.empty());
+  EXPECT_NE(result.cycles[0].find("waits on"), std::string::npos);
+}
+
+TEST(DiningTest, TimeoutRulesStillDetectWithCheckpointDisabled) {
+  // The pre-pool behaviour: with the wait-for checkpoint off, the deadlock
+  // is still caught indirectly through the per-monitor timeout rules.
+  wl::DiningOptions options;
+  options.philosophers = 4;
+  options.rounds = 10000;
+  options.eat_ns = 100'000;
+  options.think_ns = 0;
+  options.grab_gap_ns = 2 * kMillisecond;
+  options.symmetric_order = true;
+  options.t_limit = 60 * kMillisecond;
+  options.t_max = 60 * kMillisecond;
+  options.t_io = 120 * kMillisecond;
+  options.check_period = 30 * kMillisecond;
+  options.checkpoint_period = 0;  // structural detection disabled
+  options.run_timeout = 1500 * kMillisecond;
+  const wl::DiningResult result = wl::run_dining(options);
+  EXPECT_FALSE(result.completed);
+  EXPECT_FALSE(result.global_deadlock_reported);
   EXPECT_TRUE(result.deadlock_reported);
 }
 
