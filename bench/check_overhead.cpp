@@ -1,0 +1,290 @@
+// Checking-engine overhead bench — the machine-readable perf baseline for
+// the batched, adaptive-cadence CheckerPool and the block-allocating
+// EventLog.  Two sections:
+//
+//   appender  EventLog::append throughput, T concurrent appender threads,
+//             seq_block = 1 (the per-event fetch_add baseline) vs the
+//             default block allocation.
+//   pool      wl::run_multi_load at M ∈ --monitors for three engine
+//             shapes — per-item (max_batch = 1, the pre-batching loop),
+//             batched (default), batched+adaptive (--max-stretch) — with
+//             injected faults; reports per-check time, dispatches (worker
+//             wake-ups) per 1k checks, batch sizes, coalesced deadlines,
+//             and the detection scorecard.
+//
+// Emits --out (default BENCH_check_overhead.json); exits non-zero if any
+// injected fault is missed or any clean monitor reports one, so CI can use
+// the run itself as a detection smoke and the JSON as a regression
+// baseline.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "trace/event_log.hpp"
+#include "util/flags.hpp"
+#include "workloads/loadgen.hpp"
+
+using namespace robmon;
+
+namespace {
+
+bool parse_size_list(const std::string& csv, std::vector<std::size_t>* out) {
+  std::stringstream stream(csv);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    if (token.empty()) continue;
+    std::size_t consumed = 0;
+    unsigned long value = 0;
+    try {
+      value = std::stoul(token, &consumed);
+    } catch (const std::exception&) {
+      return false;
+    }
+    if (consumed != token.size() || value == 0) return false;
+    out->push_back(value);
+  }
+  return !out->empty();
+}
+
+struct AppenderRow {
+  std::size_t threads = 0;
+  std::uint64_t seq_block = 1;
+  std::uint64_t events = 0;
+  double events_per_sec = 0.0;
+};
+
+AppenderRow bench_appenders(std::size_t threads, std::uint64_t seq_block,
+                            std::uint64_t events_per_thread) {
+  trace::EventLog log(/*retain_history=*/false, trace::EventLog::kDefaultShards,
+                      seq_block);
+  std::vector<std::thread> workers;
+  const auto started = std::chrono::steady_clock::now();
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&log, t, events_per_thread] {
+      const trace::EventRecord event = trace::EventRecord::enter(
+          static_cast<trace::Pid>(t), 0, true, 0);
+      for (std::uint64_t i = 0; i < events_per_thread; ++i) {
+        log.append(event);
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  const auto finished = std::chrono::steady_clock::now();
+  (void)log.drain();
+
+  AppenderRow row;
+  row.threads = threads;
+  row.seq_block = seq_block;
+  row.events = static_cast<std::uint64_t>(threads) * events_per_thread;
+  const double seconds =
+      std::chrono::duration<double>(finished - started).count();
+  row.events_per_sec =
+      seconds > 0 ? static_cast<double>(row.events) / seconds : 0.0;
+  return row;
+}
+
+struct PoolRow {
+  std::size_t monitors = 0;
+  std::string mode;
+  wl::MultiLoadResult result;
+  double per_check_ns = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags;
+  flags.define("monitors", "1,8,64,256", "comma-separated sweep of M");
+  flags.define("threads-per-monitor", "2", "client threads per monitor");
+  flags.define("ops-per-thread", "60", "monitor calls per client thread");
+  flags.define("faulty-fraction", "0.125",
+               "fraction of monitors given one injected fault (min 1)");
+  flags.define("pool-threads", "0",
+               "K for the shared pool; 0 = hardware concurrency");
+  flags.define("check-period-ms", "2", "checking cadence per monitor");
+  flags.define("max-stretch", "4",
+               "adaptive-cadence ceiling for the adaptive engine shape");
+  flags.define("appender-threads", "1,8",
+               "comma-separated appender thread counts");
+  flags.define("appender-events", "200000", "events per appender thread");
+  flags.define("out", "BENCH_check_overhead.json",
+               "machine-readable results file");
+  if (!flags.parse(argc, argv)) return 1;
+
+  std::vector<std::size_t> monitor_sweep, appender_sweep;
+  if (!parse_size_list(flags.str("monitors"), &monitor_sweep) ||
+      !parse_size_list(flags.str("appender-threads"), &appender_sweep)) {
+    std::fprintf(stderr,
+                 "--monitors/--appender-threads must be comma-separated "
+                 "positive integers\n");
+    return 1;
+  }
+
+  const unsigned hardware = std::thread::hardware_concurrency();
+  std::printf("check_overhead: hardware concurrency = %u\n", hardware);
+
+  // --- Appender throughput. --------------------------------------------------
+  const auto appender_events =
+      static_cast<std::uint64_t>(flags.i64("appender-events"));
+  std::vector<AppenderRow> appender_rows;
+  std::printf("\n%10s %10s %14s %14s\n", "appenders", "seq-block",
+              "events", "events/s");
+  for (const std::size_t threads : appender_sweep) {
+    for (const std::uint64_t block :
+         {std::uint64_t{1}, trace::EventLog::kDefaultSeqBlock}) {
+      const AppenderRow row = bench_appenders(threads, block, appender_events);
+      appender_rows.push_back(row);
+      std::printf("%10zu %10llu %14llu %14.0f\n", row.threads,
+                  static_cast<unsigned long long>(row.seq_block),
+                  static_cast<unsigned long long>(row.events),
+                  row.events_per_sec);
+    }
+  }
+
+  // --- Pool sweep: per-item vs batched vs batched+adaptive. ------------------
+  struct Shape {
+    const char* name;
+    std::size_t max_batch;
+    double max_stretch;
+  };
+  const double stretch = flags.f64("max-stretch");
+  const Shape shapes[] = {
+      {"per-item", 1, 1.0},
+      {"batched", 0, 1.0},
+      {"adaptive", 0, stretch},
+  };
+
+  std::vector<PoolRow> pool_rows;
+  bool detection_failed = false;
+  std::printf(
+      "\n%8s %10s %10s %12s %12s %9s %12s %10s %8s\n", "monitors", "mode",
+      "checks", "per-chk-us", "disp/1kchk", "avg-batch", "coalesced",
+      "faults", "missed");
+  for (const std::size_t monitors : monitor_sweep) {
+    for (const Shape& shape : shapes) {
+      wl::MultiLoadOptions options;
+      options.monitors = monitors;
+      options.threads_per_monitor =
+          static_cast<int>(flags.i64("threads-per-monitor"));
+      options.ops_per_thread = flags.i64("ops-per-thread");
+      options.faulty_monitors = std::max<std::size_t>(
+          1, static_cast<std::size_t>(static_cast<double>(monitors) *
+                                      flags.f64("faulty-fraction")));
+      options.mode = wl::CheckerMode::kSharedPool;
+      options.pool_threads =
+          static_cast<std::size_t>(flags.i64("pool-threads"));
+      options.check_period = flags.i64("check-period-ms") * util::kMillisecond;
+      options.max_batch = shape.max_batch;
+      options.max_stretch = shape.max_stretch;
+
+      PoolRow row;
+      row.monitors = monitors;
+      row.mode = shape.name;
+      row.result = wl::run_multi_load(options);
+      row.per_check_ns = row.result.avg_check_us * 1000.0;
+      pool_rows.push_back(row);
+
+      std::printf("%8zu %10s %10llu %12.2f %12.1f %9.1f %12llu %7zu/%zu %8zu\n",
+                  monitors, shape.name,
+                  static_cast<unsigned long long>(row.result.checks_run),
+                  row.result.avg_check_us,
+                  row.result.dispatches_per_1k_checks, row.result.avg_batch,
+                  static_cast<unsigned long long>(row.result.checks_coalesced),
+                  row.result.faulty_detected, row.result.faults_expected,
+                  row.result.missed_detections);
+      if (row.result.missed_detections > 0 ||
+          row.result.false_positive_monitors > 0) {
+        std::printf("  ^ FAILED: %zu missed, %zu false-positive monitors\n",
+                    row.result.missed_detections,
+                    row.result.false_positive_monitors);
+        detection_failed = true;
+      }
+    }
+  }
+
+  // --- Machine-readable artifact. --------------------------------------------
+  std::size_t missed_total = 0, false_positive_total = 0;
+  // The regression-gate summary only considers warm rows (enough checks to
+  // amortize cold caches); a one-check M=1 row is a cold-start sample that
+  // would inflate the baseline and de-fang the CI gate.
+  constexpr std::uint64_t kWarmChecks = 16;
+  double max_per_check_ns = 0.0, max_cold_per_check_ns = 0.0;
+  for (const PoolRow& row : pool_rows) {
+    missed_total += row.result.missed_detections;
+    false_positive_total += row.result.false_positive_monitors;
+    if (row.result.checks_run >= kWarmChecks) {
+      max_per_check_ns = std::max(max_per_check_ns, row.per_check_ns);
+    } else {
+      max_cold_per_check_ns =
+          std::max(max_cold_per_check_ns, row.per_check_ns);
+    }
+  }
+  if (max_per_check_ns == 0.0) max_per_check_ns = max_cold_per_check_ns;
+
+  const std::string out_path = flags.str("out");
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "check_overhead: cannot write %s\n",
+                 out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"schema\": \"robmon-check-overhead-v1\",\n");
+  std::fprintf(out, "  \"hardware_concurrency\": %u,\n", hardware);
+  std::fprintf(out, "  \"appender\": [\n");
+  for (std::size_t i = 0; i < appender_rows.size(); ++i) {
+    const AppenderRow& row = appender_rows[i];
+    std::fprintf(out,
+                 "    {\"threads\": %zu, \"seq_block\": %llu, "
+                 "\"events\": %llu, \"events_per_sec\": %.0f}%s\n",
+                 row.threads, static_cast<unsigned long long>(row.seq_block),
+                 static_cast<unsigned long long>(row.events),
+                 row.events_per_sec,
+                 i + 1 < appender_rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"pool\": [\n");
+  for (std::size_t i = 0; i < pool_rows.size(); ++i) {
+    const PoolRow& row = pool_rows[i];
+    const wl::MultiLoadResult& r = row.result;
+    std::fprintf(
+        out,
+        "    {\"monitors\": %zu, \"mode\": \"%s\", \"checks\": %llu, "
+        "\"per_check_ns\": %.0f, \"quiesce_us\": %.2f, "
+        "\"dispatches\": %llu, \"dispatches_per_1k_checks\": %.1f, "
+        "\"avg_batch\": %.2f, \"checks_coalesced\": %llu, "
+        "\"idle_checks\": %llu, \"ops_per_sec\": %.0f, "
+        "\"faults_expected\": %zu, \"faults_detected\": %zu, "
+        "\"missed_detections\": %zu, \"false_positive_monitors\": %zu}%s\n",
+        row.monitors, row.mode.c_str(),
+        static_cast<unsigned long long>(r.checks_run), row.per_check_ns,
+        r.avg_quiesce_us, static_cast<unsigned long long>(r.dispatches),
+        r.dispatches_per_1k_checks, r.avg_batch,
+        static_cast<unsigned long long>(r.checks_coalesced),
+        static_cast<unsigned long long>(r.idle_checks), r.ops_per_second,
+        r.faults_expected, r.faulty_detected, r.missed_detections,
+        r.false_positive_monitors, i + 1 < pool_rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"summary\": {\n");
+  std::fprintf(out, "    \"missed_detections\": %zu,\n", missed_total);
+  std::fprintf(out, "    \"false_positive_monitors\": %zu,\n",
+               false_positive_total);
+  std::fprintf(out, "    \"max_per_check_ns\": %.0f\n", max_per_check_ns);
+  std::fprintf(out, "  }\n");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("\ncheck_overhead: wrote %s\n", out_path.c_str());
+
+  if (detection_failed) {
+    std::printf("check_overhead: detection FAILURES above\n");
+    return 1;
+  }
+  std::printf("check_overhead: zero missed detections in every shape\n");
+  return 0;
+}

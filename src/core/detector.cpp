@@ -47,9 +47,11 @@ Detector::CheckStats Detector::check(
   }
 
   prev_ = current;
+  stats.idle = stats.events == 0 && stats.violations == 0;
   checks_run_.fetch_add(1, std::memory_order_relaxed);
   events_processed_.fetch_add(stats.events, std::memory_order_relaxed);
   total_violations_.fetch_add(stats.violations, std::memory_order_relaxed);
+  if (stats.idle) idle_checks_.fetch_add(1, std::memory_order_relaxed);
   return stats;
 }
 

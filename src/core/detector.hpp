@@ -36,6 +36,10 @@ class Detector {
   struct CheckStats {
     std::size_t events = 0;      ///< Segment length |L|.
     std::size_t violations = 0;  ///< Violations reported this check.
+    bool idle = false;           ///< Empty segment and nothing to report —
+                                 ///  the check found nothing to do (feeds
+                                 ///  the pool's adaptive-cadence EWMA and
+                                 ///  the batch-overhead bench).
   };
 
   /// One checking-routine invocation at time `now`.
@@ -64,6 +68,11 @@ class Detector {
   std::uint64_t total_violations() const {
     return total_violations_.load(std::memory_order_relaxed);
   }
+  /// Checks that drained nothing and reported nothing — the idle fraction a
+  /// batched/adaptive engine should be amortizing away.
+  std::uint64_t idle_checks() const {
+    return idle_checks_.load(std::memory_order_relaxed);
+  }
 
  private:
   MonitorSpec spec_;
@@ -77,6 +86,7 @@ class Detector {
   std::atomic<std::uint64_t> checks_run_{0};
   std::atomic<std::uint64_t> events_processed_{0};
   std::atomic<std::uint64_t> total_violations_{0};
+  std::atomic<std::uint64_t> idle_checks_{0};
 };
 
 }  // namespace robmon::core

@@ -16,19 +16,23 @@ WaitContribution make_wait_contribution(WaitMonitorId monitor,
   contribution.epoch = epoch;
   contribution.captured_at = state.captured_at;
   for (const auto& entry : state.entry_queue) {
-    contribution.waits.push_back({entry.pid, std::string(), entry.enqueued_at});
+    contribution.waits.push_back(
+        {entry.pid, std::string(), entry.enqueued_at, entry.ticket});
   }
   for (const auto& queue : state.cond_queues) {
     const std::string cond = symbols.name(queue.cond);
     for (const auto& entry : queue.entries) {
-      contribution.waits.push_back({entry.pid, cond, entry.enqueued_at});
+      contribution.waits.push_back(
+          {entry.pid, cond, entry.enqueued_at, entry.ticket});
     }
   }
   if (state.has_running()) {
-    contribution.holds.push_back({state.running, true, state.running_since});
+    contribution.holds.push_back(
+        {state.running, true, state.running_since, state.running_ticket});
   }
   for (const auto& hold : state.holders) {
-    contribution.holds.push_back({hold.pid, false, hold.held_since});
+    contribution.holds.push_back(
+        {hold.pid, false, hold.held_since, hold.ticket});
   }
   return contribution;
 }
@@ -73,12 +77,21 @@ FaultReport make_cycle_report(const DeadlockCycle& cycle,
 bool link_holds_in(const DeadlockCycle::Link& link,
                    const trace::SchedulingState& state,
                    const trace::SymbolTable& symbols) {
-  // Blocked side: same thread parked on the same queue with the same
-  // enqueue time, i.e. the same blocking episode.
+  // Episode identity: the monitor's monotonic ticket when the link carries
+  // one (clock-independent), the enqueue/hold timestamp otherwise
+  // (pre-ticket traces).
+  const auto same_wait_episode = [&](const trace::QueueEntry& entry) {
+    if (entry.pid != link.pid) return false;
+    if (link.blocked_ticket != 0) return entry.ticket == link.blocked_ticket;
+    return entry.enqueued_at == link.blocked_since;
+  };
+
+  // Blocked side: same thread parked on the same queue in the same
+  // blocking episode.
   bool still_blocked = false;
   if (link.cond.empty()) {
     for (const auto& entry : state.entry_queue) {
-      if (entry.pid == link.pid && entry.enqueued_at == link.blocked_since) {
+      if (same_wait_episode(entry)) {
         still_blocked = true;
         break;
       }
@@ -87,7 +100,7 @@ bool link_holds_in(const DeadlockCycle::Link& link,
     const trace::SymbolId cond = symbols.find(link.cond);
     if (cond == trace::kNoSymbol) return false;
     for (const auto& entry : state.cond_entries(cond)) {
-      if (entry.pid == link.pid && entry.enqueued_at == link.blocked_since) {
+      if (same_wait_episode(entry)) {
         still_blocked = true;
         break;
       }
@@ -100,12 +113,17 @@ bool link_holds_in(const DeadlockCycle::Link& link,
   // holder appeared since the contribution, the wait has become an OR
   // (any holder releasing unblocks it) and the edge no longer stands.
   if (link.cond.empty()) {
-    return state.running == link.holder &&
-           state.running_since == link.held_since;
+    if (state.running != link.holder) return false;
+    if (link.holder_ticket != 0) {
+      return state.running_ticket == link.holder_ticket;
+    }
+    return state.running_since == link.held_since;
   }
   if (state.holders.size() != 1) return false;
   const trace::HoldEntry* hold = state.hold_of(link.holder);
-  return hold != nullptr && hold->held_since == link.held_since;
+  if (hold == nullptr) return false;
+  if (link.holder_ticket != 0) return hold->ticket == link.holder_ticket;
+  return hold->held_since == link.held_since;
 }
 
 void WaitForGraph::update(WaitContribution contribution) {
@@ -165,7 +183,7 @@ ThreadGraph build_thread_graph(
         if (!hold.mutex && resource_holders != 1) continue;
         graph.adjacency[wait.pid].push_back(
             {wait.pid, contribution->monitor, contribution->name, wait.cond,
-             wait.since, hold.pid, hold.since});
+             wait.since, hold.pid, hold.since, wait.ticket, hold.ticket});
       }
     }
   }

@@ -62,13 +62,16 @@ struct WaitContribution {
     trace::Pid pid = trace::kNoPid;
     /// Condition queue the thread is parked on; empty = entry queue.
     std::string cond;
-    util::TimeNs since = 0;  ///< Enqueue time: identifies the episode.
+    util::TimeNs since = 0;      ///< Enqueue time (diagnostics, fallback).
+    std::uint64_t ticket = 0;    ///< Episode ticket: identifies the episode
+                                 ///  clock-independently (0 = unknown).
   };
   struct Hold {
     trace::Pid pid = trace::kNoPid;
     /// true: mutex holder (Running); false: resource-unit holder.
     bool mutex = false;
     util::TimeNs since = 0;
+    std::uint64_t ticket = 0;    ///< Episode ticket of the hold.
   };
   std::vector<Wait> waits;
   std::vector<Hold> holds;
@@ -93,6 +96,10 @@ struct DeadlockCycle {
     util::TimeNs blocked_since = 0;
     trace::Pid holder = trace::kNoPid;
     util::TimeNs held_since = 0;
+    /// Episode tickets of the wait and the hold; 0 = unknown (pre-ticket
+    /// trace), in which case validation falls back to the timestamps.
+    std::uint64_t blocked_ticket = 0;
+    std::uint64_t holder_ticket = 0;
   };
   std::vector<Link> links;
 
@@ -110,10 +117,13 @@ FaultReport make_cycle_report(const DeadlockCycle& cycle,
                               util::TimeNs detected_at);
 
 /// Does `link` still hold in a fresh snapshot of its monitor?  True iff the
-/// blocked thread is still parked on the same queue with the same enqueue
-/// time (same blocking episode) and the holder still holds with the same
-/// start time.  The wait-for edges of one link live entirely inside one
-/// monitor, so this check is atomic per link.
+/// blocked thread is still parked on the same queue in the same blocking
+/// episode and the holder still holds from the same episode.  Episodes are
+/// matched by their monotonic ticket when the link carries one (clock-
+/// independent: correct even under a frozen ManualClock); links from
+/// pre-ticket traces fall back to enqueue/hold timestamps.  The wait-for
+/// edges of one link live entirely inside one monitor, so this check is
+/// atomic per link.
 bool link_holds_in(const DeadlockCycle::Link& link,
                    const trace::SchedulingState& state,
                    const trace::SymbolTable& symbols);

@@ -16,6 +16,7 @@ CheckerPool::Options single_thread(const util::Clock& clock) {
 CheckerPool::MonitorOptions to_pool_options(PeriodicChecker::Options options) {
   CheckerPool::MonitorOptions pool_options;
   pool_options.hold_gate_during_check = options.hold_gate_during_check;
+  pool_options.max_stretch = options.max_stretch;
   pool_options.on_checkpoint = std::move(options.on_checkpoint);
   return pool_options;
 }

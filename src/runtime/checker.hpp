@@ -30,6 +30,10 @@ class PeriodicChecker {
     /// Keep monitor traffic suspended while the algorithms run (paper
     /// behaviour).  false = release after snapshot.
     bool hold_gate_during_check = true;
+    /// Adaptive cadence ceiling (CheckerPool::MonitorOptions::max_stretch):
+    /// idle checks stretch the effective period up to check_period × this.
+    /// 1.0 = fixed cadence.
+    double max_stretch = 1.0;
     /// Invoked with every checkpoint state (used to build replayable
     /// traces; see RobustMonitor::export_trace).
     std::function<void(const trace::SchedulingState&)> on_checkpoint;

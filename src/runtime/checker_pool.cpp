@@ -9,9 +9,14 @@ namespace robmon::rt {
 
 namespace {
 
-/// Floor for the checking cadence: a zero/negative check_period would turn
+/// Floor for the checking cadence: a zero check_period (the paper's
+/// per-event "T = 1" request, which the pool does not implement) would turn
 /// a worker into a hot spin loop.
 constexpr util::TimeNs kMinPeriodNs = 100'000;  // 100us
+
+/// EWMA of drained segment sizes below which a monitor counts as idle for
+/// the adaptive-cadence controller.
+constexpr double kIdleEventsEwma = 0.5;
 
 /// Deadlines and durations are wall-clock: Options::clock only feeds the
 /// detection rules, so a frozen ManualClock must not stall the cadence.
@@ -33,6 +38,10 @@ std::size_t clamp_threads(std::size_t requested) {
 CheckerPool::CheckerPool(Options options)
     : clock_(options.clock),
       configured_threads_(clamp_threads(options.threads)),
+      batch_window_(options.batch_window),
+      max_batch_(options.max_batch),
+      backlog_policy_(options.backlog_policy),
+      max_backlog_(options.max_backlog),
       waitfor_period_(options.waitfor_checkpoint_period > 0
                           ? std::max(options.waitfor_checkpoint_period,
                                      kMinPeriodNs)
@@ -61,11 +70,28 @@ CheckerPool::MonitorId CheckerPool::add(HoareMonitor& monitor,
 CheckerPool::MonitorId CheckerPool::add(HoareMonitor& monitor,
                                         core::Detector& detector,
                                         MonitorOptions options) {
+  const util::TimeNs requested_period = detector.spec().check_period;
+  if (requested_period < 0) {
+    throw std::invalid_argument(
+        "CheckerPool::add: negative check_period");
+  }
+  if (options.max_stretch < 1.0) {
+    throw std::invalid_argument(
+        "CheckerPool::add: max_stretch must be >= 1");
+  }
+  if (options.ewma_alpha <= 0.0 || options.ewma_alpha > 1.0) {
+    throw std::invalid_argument(
+        "CheckerPool::add: ewma_alpha must be in (0, 1]");
+  }
   auto entry = std::make_unique<Entry>();
   entry->monitor = &monitor;
   entry->detector = &detector;
   entry->options = std::move(options);
-  entry->period = std::max(detector.spec().check_period, kMinPeriodNs);
+  // Clamp (not reject) a zero period: callers historically pass 0 meaning
+  // "as fast as possible", and the 100 µs floor keeps that from becoming a
+  // hot spin on the heap.
+  entry->period = std::max(requested_period, kMinPeriodNs);
+  entry->effective_period = entry->period;
 
   std::lock_guard<std::mutex> lock(mu_);
   const MonitorId id = next_id_++;
@@ -92,6 +118,12 @@ void CheckerPool::schedule(MonitorId id) {
   if (entry.scheduled) return;
   entry.scheduled = true;
   ++entry.generation;
+  // A fresh scheduling episode starts at base cadence: stretch retained
+  // from a previous idle episode must not defer the first check while new
+  // events accumulate.
+  entry.stretch = 1.0;
+  entry.ewma_events = 0.0;
+  entry.effective_period = entry.period;
   heap_.push({wall_now() + entry.period, id, entry.generation});
   if (waitfor_enabled() && !checkpoint_scheduled_) {
     heap_.push({wall_now() + waitfor_period_, kCheckpointId, 0});
@@ -156,8 +188,17 @@ core::Detector::CheckStats CheckerPool::check_now(MonitorId id) {
       pool->idle_cv_.notify_all();
     }
   } release{this, entry};
-  std::lock_guard<std::mutex> check_lock(entry->check_mu);
-  return run_check(*entry);
+  core::Detector::CheckStats stats;
+  bool occupied = false;
+  {
+    std::lock_guard<std::mutex> check_lock(entry->check_mu);
+    stats = run_check(*entry, clock_->now_ns(), &occupied);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    update_cadence_locked(*entry, stats, occupied);
+  }
+  return stats;
 }
 
 std::size_t CheckerPool::thread_count() const {
@@ -179,7 +220,37 @@ std::size_t CheckerPool::scheduled_count() const {
   return count;
 }
 
-core::Detector::CheckStats CheckerPool::run_check(Entry& entry) {
+util::TimeNs CheckerPool::period(MonitorId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    throw std::invalid_argument("CheckerPool::period: unknown monitor id");
+  }
+  return it->second->period;
+}
+
+util::TimeNs CheckerPool::effective_period(MonitorId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    throw std::invalid_argument(
+        "CheckerPool::effective_period: unknown monitor id");
+  }
+  return it->second->effective_period;
+}
+
+double CheckerPool::stretch(MonitorId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    throw std::invalid_argument("CheckerPool::stretch: unknown monitor id");
+  }
+  return it->second->stretch;
+}
+
+core::Detector::CheckStats CheckerPool::run_check(Entry& entry,
+                                                  util::TimeNs rule_now,
+                                                  bool* occupied_out) {
   const util::TimeNs started = wall_now();
   std::vector<trace::EventRecord> segment;
   std::optional<trace::SchedulingState> state;
@@ -190,7 +261,7 @@ core::Detector::CheckStats CheckerPool::run_check(Entry& entry) {
       sync::CheckerGate::ExclusiveScope quiesce(entry.monitor->gate());
       segment = entry.monitor->log().drain();
       state = entry.monitor->snapshot();
-      stats = entry.detector->check(segment, *state, clock_->now_ns());
+      stats = entry.detector->check(segment, *state, rule_now);
     }
     gate_released = wall_now();  // paper mode: suspended through the check
   } else {
@@ -200,7 +271,7 @@ core::Detector::CheckStats CheckerPool::run_check(Entry& entry) {
       state = entry.monitor->snapshot();
     }
     gate_released = wall_now();
-    stats = entry.detector->check(segment, *state, clock_->now_ns());
+    stats = entry.detector->check(segment, *state, rule_now);
   }
   const util::TimeNs finished = wall_now();
   checks_executed_.fetch_add(1, std::memory_order_relaxed);
@@ -209,11 +280,72 @@ core::Detector::CheckStats CheckerPool::run_check(Entry& entry) {
       std::memory_order_relaxed);
   total_check_ns_.fetch_add(static_cast<std::uint64_t>(finished - started),
                             std::memory_order_relaxed);
+  if (occupied_out != nullptr) {
+    *occupied_out = state->has_running() || state->blocked_count() > 0;
+  }
   if (waitfor_enabled() && entry.options.contribute_wait_edges) {
     contribute_wait_edges(entry, *state);
   }
   if (entry.options.on_checkpoint) entry.options.on_checkpoint(*state);
   return stats;
+}
+
+void CheckerPool::update_cadence_locked(
+    Entry& entry, const core::Detector::CheckStats& stats, bool occupied) {
+  if (entry.options.max_stretch <= 1.0) return;  // fixed cadence
+  const double alpha = entry.options.ewma_alpha;
+  entry.ewma_events = alpha * static_cast<double>(stats.events) +
+                      (1.0 - alpha) * entry.ewma_events;
+  if (stats.events > 0 || stats.violations > 0 || occupied) {
+    // Activity, a finding, or anybody running/queued: base cadence, now.
+    // Occupancy is the precondition of every timer rule (ST-5/6/8c), so an
+    // occupied monitor is always checked at base cadence.
+    entry.stretch = 1.0;
+  } else if (entry.ewma_events < kIdleEventsEwma) {
+    entry.stretch = std::min(entry.stretch * 2.0, entry.options.max_stretch);
+  }
+  util::TimeNs effective = static_cast<util::TimeNs>(
+      static_cast<double>(entry.period) * entry.stretch);
+  // Detection-latency clamp.  A blocking episode that *begins* mid-
+  // stretched-interval is only noticed at the next (deferred) check, so
+  // the effective period also bounds that first detection latency.  Capping
+  // it at the smallest *positive* timer threshold (never below the base
+  // period; a zeroed threshold means "rule unused", not "clamp off") keeps
+  // the deferred case within ~2x the threshold: onset -> next check is at
+  // most that threshold, and the check both snaps the cadence back to base
+  // and evaluates the timer rules.  Tmax < T_eff (the Section 3.3
+  // relation) holds throughout, since stretching only grows T.
+  const core::MonitorSpec& spec = entry.detector->spec();
+  util::TimeNs min_timer = 0;
+  for (const util::TimeNs threshold : {spec.t_max, spec.t_io, spec.t_limit}) {
+    if (threshold > 0 && (min_timer == 0 || threshold < min_timer)) {
+      min_timer = threshold;
+    }
+  }
+  if (min_timer > 0) {
+    effective = std::min(effective, std::max(entry.period, min_timer));
+  }
+  entry.effective_period = std::max<util::TimeNs>(1, effective);
+}
+
+util::TimeNs CheckerPool::next_due_locked(Entry& entry, util::TimeNs due,
+                                          util::TimeNs finished) {
+  const util::TimeNs period = std::max<util::TimeNs>(1, entry.effective_period);
+  const util::TimeNs next = due + period;
+  if (next > finished) return next;  // on schedule (includes pulled-forward)
+  // The check outlasted its period: `missed` deadlines fell due while it
+  // ran.  kCoalesce slips the grid (the next check's drained segment covers
+  // them); kRunAll re-runs them back-to-back, at most max_backlog deep.
+  const std::uint64_t missed =
+      static_cast<std::uint64_t>((finished - next) / period) + 1;
+  if (backlog_policy_ == BacklogPolicy::kRunAll) {
+    const std::uint64_t backlog =
+        std::min<std::uint64_t>(missed, max_backlog_);
+    checks_coalesced_.fetch_add(missed - backlog, std::memory_order_relaxed);
+    return finished - static_cast<util::TimeNs>(backlog - 1) * period;
+  }
+  checks_coalesced_.fetch_add(missed, std::memory_order_relaxed);
+  return finished + period;
 }
 
 void CheckerPool::contribute_wait_edges(const Entry& entry,
@@ -253,20 +385,16 @@ bool CheckerPool::validate_cycle(const core::DeadlockCycle& cycle) {
   // at different instants, so link A could be confirmed at t1, dissolve,
   // and link B (formed only after A dissolved) be confirmed at t2 — a
   // "cycle" that never coexisted.  With two passes, a link confirmed in
-  // both with the SAME blocking episode (same enqueue timestamp) and the
-  // same hold start was continuously blocked/held across the boundary
-  // between the passes — a parked thread cannot release anything, and a
-  // re-formed wait or hold carries a fresh monotonic timestamp.  So every
-  // edge of the cycle exists simultaneously at the instant pass 1 ended,
-  // and the deadlock is real; a cycle that resolved before the checkpoint
-  // fails here and is never reported.
-  //
-  // Precondition: the monitor clock yields distinct timestamps for
-  // distinct blocking episodes (any monotonic clock does).  Under a frozen
-  // ManualClock episodes alias, and the guarantee degrades to "every link
-  // was individually present at both passes" — re-formed waits become
-  // indistinguishable from continuous ones.  Per-episode tickets in the
-  // snapshot would close this (see ROADMAP).
+  // both with the SAME blocking episode and the same hold episode was
+  // continuously blocked/held across the boundary between the passes — a
+  // parked thread cannot release anything, and a re-formed wait or hold
+  // carries a fresh episode ticket.  So every edge of the cycle exists
+  // simultaneously at the instant pass 1 ended, and the deadlock is real;
+  // a cycle that resolved before the checkpoint fails here and is never
+  // reported.  Episode identity is the per-monitor monotonic ticket
+  // (clock-independent: distinct episodes get distinct tickets even under
+  // a frozen ManualClock); only links from pre-ticket traces fall back to
+  // enqueue/hold timestamps.
   bool confirmed = true;
   for (int pass = 0; pass < 2 && confirmed; ++pass) {
     for (std::size_t i = 0; i < cycle.links.size() && confirmed; ++i) {
@@ -333,69 +461,135 @@ std::size_t CheckerPool::waitfor_graph_monitors() const {
   return graph_.monitor_count();
 }
 
+void CheckerPool::run_checkpoint_item_locked(
+    std::unique_lock<std::mutex>& lock) {
+  heap_.pop();  // this worker owns the pass; re-pushed when done
+  dispatches_.fetch_add(1, std::memory_order_relaxed);
+  lock.unlock();
+  run_waitfor_checkpoint();
+  lock.lock();
+  const bool any_scheduled =
+      std::any_of(entries_.begin(), entries_.end(), [](const auto& kv) {
+        return kv.second->scheduled;
+      });
+  if (!any_scheduled) {
+    // Nothing is being checked, so nothing refreshes the graph
+    // (unschedule also withdrew the contributions); schedule() re-arms
+    // on the next scheduling instead of waking a worker every period
+    // for an empty graph.
+    checkpoint_scheduled_ = false;
+  } else {
+    heap_.push({wall_now() + waitfor_period_, kCheckpointId, 0});
+    work_cv_.notify_one();
+  }
+}
+
 void CheckerPool::worker_loop() {
   std::unique_lock<std::mutex> lock(mu_);
+  std::vector<BatchSlot> batch;
   while (!stop_) {
     if (heap_.empty()) {
       work_cv_.wait(lock);
       continue;
     }
     const HeapItem top = heap_.top();
-    if (top.id == kCheckpointId) {
-      const util::TimeNs now = wall_now();
-      if (top.due > now) {
-        work_cv_.wait_for(lock, std::chrono::nanoseconds(top.due - now));
-        continue;
-      }
-      heap_.pop();  // this worker owns the pass; re-pushed when done
-      lock.unlock();
-      run_waitfor_checkpoint();
-      lock.lock();
-      const bool any_scheduled =
-          std::any_of(entries_.begin(), entries_.end(), [](const auto& kv) {
-            return kv.second->scheduled;
-          });
-      if (!any_scheduled) {
-        // Nothing is being checked, so nothing refreshes the graph
-        // (unschedule also withdrew the contributions); schedule() re-arms
-        // on the next scheduling instead of waking a worker every period
-        // for an empty graph.
-        checkpoint_scheduled_ = false;
-      } else {
-        heap_.push({wall_now() + waitfor_period_, kCheckpointId, 0});
-        work_cv_.notify_one();
-      }
-      continue;
-    }
-    auto it = entries_.find(top.id);
-    if (it == entries_.end() || it->second->generation != top.generation ||
-        !it->second->scheduled) {
-      heap_.pop();  // stale: unscheduled, rescheduled, or removed
-      continue;
-    }
-    const util::TimeNs now = wall_now();
+    util::TimeNs now = wall_now();
     if (top.due > now) {
       work_cv_.wait_for(lock, std::chrono::nanoseconds(top.due - now));
       continue;
     }
-    heap_.pop();
-    Entry& entry = *it->second;
-    ++entry.busy;
+    if (top.id == kCheckpointId) {
+      run_checkpoint_item_locked(lock);
+      continue;
+    }
+
+    // --- Form a batch: every monitor due now, plus near-due monitors
+    // within the batch window.  One dispatch amortizes the heap pops, the
+    // condvar wake-up and the rule-clock read across the whole batch.
+    // Batch size cap: an explicit max_batch wins; otherwise split the
+    // backlog across the pool's workers (heap size / K, min 1) so one
+    // worker never serializes a whole due wave while its K-1 peers idle.
+    // On a single-worker pool the auto cap is the full wave.
+    batch.clear();
+    const std::size_t batch_cap =
+        max_batch_ != 0
+            ? max_batch_
+            : std::max<std::size_t>(1, heap_.size() / configured_threads_);
+    util::TimeNs window = batch_window_;
+    while (!heap_.empty() && batch.size() < batch_cap) {
+      const HeapItem item = heap_.top();
+      if (item.id == kCheckpointId) break;  // has its own dispatch
+      auto it = entries_.find(item.id);
+      if (it == entries_.end() || it->second->generation != item.generation ||
+          !it->second->scheduled) {
+        heap_.pop();  // stale: unscheduled, rescheduled, or removed
+        continue;
+      }
+      if (batch.empty()) {
+        if (item.due > now) break;  // head raced away (stale pops)
+        if (window < 0) window = it->second->period;  // auto: head quantum
+      } else if (item.due > now + window) {
+        break;
+      }
+      heap_.pop();
+      ++it->second->busy;
+      batch.push_back({it->second.get(), item, {}, false});
+    }
+    if (batch.empty()) continue;  // everything popped was stale
+    dispatches_.fetch_add(1, std::memory_order_relaxed);
+    // If due work remains beyond this batch's cap, wake a peer to serve it
+    // concurrently.
+    if (!heap_.empty() && heap_.top().due <= now) work_cv_.notify_one();
     lock.unlock();
-    {
-      std::lock_guard<std::mutex> check_lock(entry.check_mu);
-      run_check(entry);
+
+    // One rule-clock read per batch, not per check.  Timer rules for later
+    // batch members see a timestamp early by at most the batch runtime —
+    // conservative: a threshold crossed mid-batch is simply caught at that
+    // monitor's next check.
+    const util::TimeNs rule_now = clock_->now_ns();
+    for (BatchSlot& slot : batch) {
+      Entry& entry = *slot.entry;
+      // Slots run sequentially, so an unschedule()/remove() issued after
+      // batch formation may have landed before this slot's turn: re-check
+      // under mu_ and skip the now-pointless check (dropping the pin
+      // immediately) instead of making the caller wait on it.
+      {
+        std::lock_guard<std::mutex> relock(mu_);
+        if (!entry.scheduled || entry.generation != slot.item.generation) {
+          --entry.busy;
+          slot.entry = nullptr;
+        }
+      }
+      if (slot.entry == nullptr) {
+        idle_cv_.notify_all();
+        continue;
+      }
+      {
+        std::lock_guard<std::mutex> check_lock(entry.check_mu);
+        slot.stats = run_check(entry, rule_now, &slot.occupied);
+      }
+      batched_checks_.fetch_add(1, std::memory_order_relaxed);
+      // Retire the slot as soon as its check completes — cadence update,
+      // reschedule, busy release — so a waiting unschedule()/remove() of
+      // this monitor (e.g. a RobustMonitor destructor) resumes after this
+      // check instead of after the whole batch.  The entry pointer is only
+      // safe before the busy drop: remove() may free it right after.
+      {
+        std::lock_guard<std::mutex> relock(mu_);
+        // Deadlines restart from the item's original due time, so checks
+        // the window pulled forward keep their cadence grid; the backlog
+        // policy bounds what happens when a check outlasts its period.
+        if (entry.scheduled && entry.generation == slot.item.generation) {
+          update_cadence_locked(entry, slot.stats, slot.occupied);
+          heap_.push({next_due_locked(entry, slot.item.due, wall_now()),
+                      slot.item.id, slot.item.generation});
+          work_cv_.notify_one();
+        }
+        --entry.busy;
+      }
+      idle_cv_.notify_all();
     }
     lock.lock();
-    --entry.busy;
-    idle_cv_.notify_all();
-    // Deadlines restart after the check completes, so a monitor whose check
-    // outlasts its period degrades to back-to-back checks instead of
-    // accumulating a backlog of due items.
-    if (entry.scheduled && entry.generation == top.generation) {
-      heap_.push({wall_now() + entry.period, top.id, top.generation});
-      work_cv_.notify_one();
-    }
   }
 }
 

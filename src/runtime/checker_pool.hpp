@@ -1,4 +1,5 @@
-// CheckerPool — the sharded, deadline-scheduled detection engine.
+// CheckerPool — the sharded, deadline-scheduled, batch-draining detection
+// engine.
 //
 // The paper's fault-detection routine (Fig. 1) is specified per monitor, and
 // the first runtime mirrored that: one PeriodicChecker thread per
@@ -11,6 +12,39 @@
 // global stop-the-world across monitors, and the suspend-vs-concurrent
 // choice (hold_gate_during_check) is a per-monitor policy, not a property of
 // the engine.
+//
+// Batched dispatch: a dispatching worker pops not just the due head but
+// every monitor due within Options::batch_window of now (default: one
+// check-period quantum of the head monitor), then runs the batch's checks
+// back-to-back outside the scheduler lock.  This amortizes heap operations,
+// condvar wake-ups, lock acquisitions and rule-clock reads (one
+// Clock::now_ns() per batch, not per check) across the batch — at M=256
+// monitors on one cadence, the per-item loop paid one dispatch per check.
+// Options::max_batch = 1 reproduces the per-item engine (the bench
+// baseline).  Checks pulled forward by the window are rescheduled from
+// their *original* deadline, so the cadence grid is preserved.
+//
+// Backlog policy: when a check outlasts its (effective) period, the next
+// deadline is already in the past.  kCoalesce (default) slips the grid —
+// the missed slots are absorbed by the next check (the drained segment
+// covers them) and counted in checks_coalesced().  kRunAll catches up with
+// back-to-back checks, bounded by Options::max_backlog; slots beyond the
+// bound are coalesced.  Neither policy lets a slow monitor starve the rest
+// of the pool: catch-up items re-enter the shared heap like any other.
+//
+// Adaptive cadence: MonitorOptions::max_stretch > 1 lets an *idle* monitor
+// be checked lazily — its effective period stretches geometrically from
+// check_period up to check_period × max_stretch while consecutive checks
+// drain nothing, and snaps back to check_period on the first check that
+// sees events, violations, or occupancy.  The paper's Section 3.3
+// Tmax < T relation holds throughout (stretching only grows T), and the
+// timer rules keep a hard latency bound: a monitor observed occupied is
+// always checked at base cadence, and for an episode that *begins* inside
+// a stretched interval the effective period is additionally clamped to
+// the smallest timer threshold (min(Tmax, Tio, Tlimit), never below the
+// base period) — so the first post-onset check, which both evaluates the
+// timer rules and snaps the cadence back, runs within one threshold of
+// onset.
 //
 // Lifecycle: add() registers a monitor (idle); schedule() begins periodic
 // checking; unschedule() stops it and blocks until any in-flight check of
@@ -25,13 +59,13 @@
 // same deadline heap periodically runs cycle detection over the graph.
 // Candidate cycles may rest on snapshots taken at different times, so each
 // one is confirmed against *live* re-snapshots of the participating
-// monitors (same blocking episode, same hold start) before a GlobalDeadlock
-// fault naming the full thread/monitor cycle goes to the waitfor sink — a
-// cycle that resolved before the checkpoint is never reported.  (Episodes
-// are identified by their enqueue timestamps, so the zero-false-positive
-// guarantee assumes a clock with distinct ticks per episode; a frozen
-// ManualClock weakens it to per-link validation.)  A confirmed cycle is
-// reported once and re-armed if it ever dissolves.
+// monitors (same blocking episode, same hold episode) before a
+// GlobalDeadlock fault naming the full thread/monitor cycle goes to the
+// waitfor sink — a cycle that resolved before the checkpoint is never
+// reported.  Episodes are identified by per-monitor monotonic tickets
+// (HoareMonitor::next_ticket_), so the zero-false-positive guarantee is
+// clock-independent — it holds even under a frozen ManualClock.  A
+// confirmed cycle is reported once and re-armed if it ever dissolves.
 #pragma once
 
 #include <atomic>
@@ -54,6 +88,13 @@ namespace robmon::rt {
 
 class CheckerPool {
  public:
+  /// What to do with the deadlines a monitor missed because its check
+  /// outlasted its (effective) period.
+  enum class BacklogPolicy {
+    kCoalesce,  ///< Slip the grid; the next check absorbs the backlog.
+    kRunAll,    ///< Catch up back-to-back, at most max_backlog deep.
+  };
+
   struct Options {
     /// Worker threads K; 0 means "hardware concurrency".  Always clamped to
     /// [1, hardware concurrency].
@@ -63,6 +104,19 @@ class CheckerPool {
     /// original PeriodicChecker loop, so a frozen ManualClock cannot stall
     /// periodic checking.
     const util::Clock* clock = &util::SteadyClock::instance();
+    /// Batch window W: a dispatching worker also drains monitors due within
+    /// W of now, amortizing wake-ups across near-simultaneous deadlines.
+    /// -1 = auto (the dispatch head's own check period — one quantum);
+    /// 0 = only monitors already due.
+    util::TimeNs batch_window = -1;
+    /// Cap on checks per dispatch; 0 = unbounded.  1 reproduces the
+    /// per-item engine (one dispatch per check) — the bench baseline.
+    std::size_t max_batch = 0;
+    /// Missed-deadline handling for checks that outlast their period.
+    BacklogPolicy backlog_policy = BacklogPolicy::kCoalesce;
+    /// kRunAll only: deepest allowed catch-up backlog (checks); missed
+    /// slots beyond it are coalesced.
+    std::size_t max_backlog = 4;
     /// Cadence of the pool-level wait-for checkpoint (wall-clock, like the
     /// check cadence).  0 disables cross-monitor deadlock detection.
     util::TimeNs waitfor_checkpoint_period = 0;
@@ -79,6 +133,13 @@ class CheckerPool {
     /// Fold this monitor's snapshots into the pool-level wait-for graph
     /// (no-op unless Options::waitfor_checkpoint_period is set).
     bool contribute_wait_edges = true;
+    /// Adaptive cadence ceiling: while the monitor is idle (no drained
+    /// events, nobody running or queued), its effective check period
+    /// stretches up to check_period × max_stretch.  1.0 = fixed cadence.
+    /// Must be ≥ 1.
+    double max_stretch = 1.0;
+    /// EWMA weight of the newest segment size in the idle estimate.
+    double ewma_alpha = 0.25;
     /// Invoked with every checkpoint state (replayable-trace support).
     std::function<void(const trace::SchedulingState&)> on_checkpoint;
   };
@@ -94,7 +155,10 @@ class CheckerPool {
 
   /// Register a monitor/detector pair.  The pair must outlive its
   /// registration (until remove() or pool destruction).  The check cadence
-  /// is detector.spec().check_period.  Registered monitors start idle.
+  /// is detector.spec().check_period, clamped to a 100 µs floor: the pool
+  /// has no per-event mode, so a zero period (the paper's "T = 1" request)
+  /// would otherwise hot-spin the heap.  A negative period is rejected
+  /// (std::invalid_argument).  Registered monitors start idle.
   MonitorId add(HoareMonitor& monitor, core::Detector& detector);
   MonitorId add(HoareMonitor& monitor, core::Detector& detector,
                 MonitorOptions options);
@@ -111,7 +175,8 @@ class CheckerPool {
   void remove(MonitorId id);
 
   /// One synchronous checking-routine invocation on the caller's thread;
-  /// serialized against any worker checking the same monitor.
+  /// serialized against any worker checking the same monitor.  Feeds the
+  /// adaptive-cadence controller like a periodic check.
   core::Detector::CheckStats check_now(MonitorId id);
 
   /// One synchronous wait-for checkpoint pass on the caller's thread:
@@ -121,7 +186,7 @@ class CheckerPool {
   /// No-op returning 0 when the checkpoint is disabled.
   std::size_t run_waitfor_checkpoint();
 
-  // --- Introspection (bench/pool_scaling, tests). ---------------------------
+  // --- Introspection (bench/check_overhead, bench/pool_scaling, tests). -----
 
   /// Worker threads currently running (0 until the first schedule()).
   std::size_t thread_count() const;
@@ -130,9 +195,30 @@ class CheckerPool {
   std::size_t monitor_count() const;
   std::size_t scheduled_count() const;
 
+  /// Clamped base check period of `id` (the floor applied by add()).
+  util::TimeNs period(MonitorId id) const;
+  /// Current effective period = period × stretch (adaptive cadence).
+  util::TimeNs effective_period(MonitorId id) const;
+  /// Current stretch factor in [1, max_stretch].
+  double stretch(MonitorId id) const;
+
   /// Checks executed through this pool (periodic + check_now).
   std::uint64_t checks_executed() const {
     return checks_executed_.load(std::memory_order_relaxed);
+  }
+  /// Worker dispatches: scheduler-lock acquire → run transitions (one per
+  /// batch, plus one per checkpoint pass).  The per-item engine pays one
+  /// per check; dispatches()/checks_executed() is the amortization factor.
+  std::uint64_t dispatches() const {
+    return dispatches_.load(std::memory_order_relaxed);
+  }
+  /// Checks executed by periodic batch dispatch (excludes check_now).
+  std::uint64_t batched_checks() const {
+    return batched_checks_.load(std::memory_order_relaxed);
+  }
+  /// Missed deadlines absorbed by the backlog policy.
+  std::uint64_t checks_coalesced() const {
+    return checks_coalesced_.load(std::memory_order_relaxed);
   }
   /// Cumulative wall time the checker gate was held exclusively (in hold-
   /// gate mode that spans the whole detector run; otherwise just drain +
@@ -166,7 +252,10 @@ class CheckerPool {
     HoareMonitor* monitor = nullptr;
     core::Detector* detector = nullptr;
     MonitorOptions options;
-    util::TimeNs period = 0;
+    util::TimeNs period = 0;            ///< Clamped base period.
+    util::TimeNs effective_period = 0;  ///< period × stretch (mu_).
+    double stretch = 1.0;               ///< Cadence controller state (mu_).
+    double ewma_events = 0.0;           ///< EWMA of drained segment sizes.
     /// Bumped by schedule()/unschedule(); stale heap items are discarded.
     std::uint64_t generation = 0;
     bool scheduled = false;
@@ -183,9 +272,34 @@ class CheckerPool {
     bool operator>(const HeapItem& other) const { return due > other.due; }
   };
 
+  /// One batch slot: the pinned entry plus the heap item it came from and
+  /// the check's outcome (for cadence/reschedule under the relock).
+  struct BatchSlot {
+    Entry* entry = nullptr;
+    HeapItem item;
+    core::Detector::CheckStats stats;
+    bool occupied = false;  ///< Snapshot showed running/queued processes.
+  };
+
   void worker_loop();
   void ensure_workers_locked();
-  core::Detector::CheckStats run_check(Entry& entry);
+  /// Run one check; `rule_now` is the rule-clock timestamp shared by the
+  /// whole batch.  `occupied_out` reports whether the snapshot showed any
+  /// running or queued process (cadence controller input).
+  core::Detector::CheckStats run_check(Entry& entry, util::TimeNs rule_now,
+                                       bool* occupied_out);
+  /// Cadence controller: update the entry's EWMA/stretch from one check's
+  /// outcome.  mu_ held.
+  void update_cadence_locked(Entry& entry,
+                             const core::Detector::CheckStats& stats,
+                             bool occupied);
+  /// Next deadline after a check scheduled at `due` finished at `finished`,
+  /// applying the backlog policy.  mu_ held.
+  util::TimeNs next_due_locked(Entry& entry, util::TimeNs due,
+                               util::TimeNs finished);
+  /// Handle a due checkpoint heap item.  Lock held on entry and exit;
+  /// released around the pass itself.
+  void run_checkpoint_item_locked(std::unique_lock<std::mutex>& lock);
 
   bool waitfor_enabled() const {
     return waitfor_period_ > 0 && waitfor_sink_ != nullptr;
@@ -194,11 +308,15 @@ class CheckerPool {
   void contribute_wait_edges(const Entry& entry,
                              const trace::SchedulingState& state);
   /// Live validation: re-snapshot the cycle's monitors and require every
-  /// link to still hold (same blocking episode, same hold start).
+  /// link to still hold (same blocking episode, same hold episode).
   bool validate_cycle(const core::DeadlockCycle& cycle);
 
   const util::Clock* clock_;
   std::size_t configured_threads_;
+  util::TimeNs batch_window_ = -1;
+  std::size_t max_batch_ = 0;
+  BacklogPolicy backlog_policy_ = BacklogPolicy::kCoalesce;
+  std::size_t max_backlog_ = 4;
   util::TimeNs waitfor_period_ = 0;
   core::ReportSink* waitfor_sink_ = nullptr;
 
@@ -231,6 +349,9 @@ class CheckerPool {
   std::unordered_set<std::string> reported_cycles_;
 
   std::atomic<std::uint64_t> checks_executed_{0};
+  std::atomic<std::uint64_t> dispatches_{0};
+  std::atomic<std::uint64_t> batched_checks_{0};
+  std::atomic<std::uint64_t> checks_coalesced_{0};
   std::atomic<std::uint64_t> total_quiesce_ns_{0};
   std::atomic<std::uint64_t> total_check_ns_{0};
   std::atomic<std::uint64_t> waitfor_checkpoints_{0};

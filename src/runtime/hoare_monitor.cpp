@@ -77,19 +77,23 @@ std::int64_t HoareMonitor::resources() const {
 
 void HoareMonitor::note_hold(trace::Pid pid) {
   std::lock_guard<sync::SpinLock> lock(mu_);
-  auto [it, inserted] = holds_.try_emplace(pid, 0, now());
-  ++it->second.first;
+  auto [it, inserted] = holds_.try_emplace(pid);
+  if (inserted) {
+    it->second.since = now();
+    it->second.ticket = ++next_ticket_;
+  }
+  ++it->second.units;
 }
 
 void HoareMonitor::note_release(trace::Pid pid) {
   std::lock_guard<sync::SpinLock> lock(mu_);
   auto it = holds_.find(pid);
   if (it == holds_.end()) return;  // release-before-acquire client bug
-  if (--it->second.first <= 0) holds_.erase(it);
+  if (--it->second.units <= 0) holds_.erase(it);
 }
 
 Status HoareMonitor::enter(trace::Pid pid, trace::SymbolId proc_id) {
-  Waiter self{pid, proc_id, 0, {}};
+  Waiter self{pid, proc_id, 0, 0, {}};
   bool must_park = false;
   {
     std::optional<sync::CheckerGate::SharedScope> gate_scope;
@@ -118,12 +122,15 @@ Status HoareMonitor::enter(trace::Pid pid, trace::SymbolId proc_id) {
       if (injection_->fire(FaultKind::kEnterNoResponse, pid)) {
         record(EventRecord::enter(pid, proc_id, false, now()));
         self.since = now();
-        entry_queue_.push_back({pid, proc_id, self.since, &self, false});
+        self.ticket = ++next_ticket_;
+        entry_queue_.push_back(
+            {pid, proc_id, self.since, self.ticket, &self, false});
         must_park = true;
       } else {
         owner_ = pid;
         owner_proc_ = proc_id;
         owner_since_ = now();
+        owner_ticket_ = ++next_ticket_;
         inside_proc_[pid] = proc_id;
         record(EventRecord::enter(pid, proc_id, true, now()));
         return Status::kOk;
@@ -136,7 +143,9 @@ Status HoareMonitor::enter(trace::Pid pid, trace::SymbolId proc_id) {
         must_park = true;
       } else {
         self.since = now();
-        entry_queue_.push_back({pid, proc_id, self.since, &self, false});
+        self.ticket = ++next_ticket_;
+        entry_queue_.push_back(
+            {pid, proc_id, self.since, self.ticket, &self, false});
         must_park = true;
       }
     }
@@ -149,7 +158,7 @@ Status HoareMonitor::enter(trace::Pid pid, trace::SymbolId proc_id) {
 }
 
 Status HoareMonitor::wait(trace::Pid pid, trace::SymbolId cond) {
-  Waiter self{pid, trace::kNoSymbol, 0, {}};
+  Waiter self{pid, trace::kNoSymbol, 0, 0, {}};
   bool must_park = false;
   {
     std::optional<sync::CheckerGate::SharedScope> gate_scope;
@@ -172,6 +181,7 @@ Status HoareMonitor::wait(trace::Pid pid, trace::SymbolId cond) {
       lost_waiters_.push_back(&self);
     } else {
       self.since = now();
+      self.ticket = ++next_ticket_;
       cond_queues_[cond].push_back(&self);
     }
     must_park = true;
@@ -244,6 +254,7 @@ void HoareMonitor::admit_from_entry_queue(bool extra,
   owner_ = waiter->pid;
   owner_proc_ = waiter->proc;
   owner_since_ = now();
+  owner_ticket_ = ++next_ticket_;
   inside_proc_[waiter->pid] = waiter->proc;
   *admitted = waiter;
   if (extra) *ghost = resume_ghost_from_entry_queue();
@@ -301,8 +312,8 @@ void HoareMonitor::signal_exit_impl(trace::Pid pid, trace::SymbolId cond,
         // the entry queue; the monitor itself is released to the EQ head.
         Waiter* waiter = cond_queue->front();
         cond_queue->pop_front();
-        entry_queue_.push_back(
-            {waiter->pid, waiter->proc, now(), waiter, false});
+        entry_queue_.push_back({waiter->pid, waiter->proc, now(),
+                                ++next_ticket_, waiter, false});
         owner_.reset();
         admit_from_entry_queue(false, &wake_first, &wake_second);
       } else if (resume_cond_waiter) {
@@ -311,6 +322,7 @@ void HoareMonitor::signal_exit_impl(trace::Pid pid, trace::SymbolId cond,
         owner_ = waiter->pid;
         owner_proc_ = waiter->proc;
         owner_since_ = now();
+        owner_ticket_ = ++next_ticket_;
         inside_proc_[waiter->pid] = waiter->proc;
         wake_first = waiter;
         // Fault I.c.3: additionally resume an entry waiter without
@@ -341,13 +353,15 @@ trace::SchedulingState HoareMonitor::snapshot() const {
   trace::SchedulingState state;
   state.captured_at = now();
   for (const EqEntry& entry : entry_queue_) {
-    state.entry_queue.push_back({entry.pid, entry.proc, entry.since});
+    state.entry_queue.push_back(
+        {entry.pid, entry.proc, entry.since, entry.ticket});
   }
   for (const auto& [cond, queue] : cond_queues_) {
     trace::CondQueueState cq;
     cq.cond = cond;
     for (const Waiter* waiter : queue) {
-      cq.entries.push_back({waiter->pid, waiter->proc, waiter->since});
+      cq.entries.push_back(
+          {waiter->pid, waiter->proc, waiter->since, waiter->ticket});
     }
     state.cond_queues.push_back(std::move(cq));
   }
@@ -357,12 +371,13 @@ trace::SchedulingState HoareMonitor::snapshot() const {
     state.resources = resource_gauge_ ? resource_gauge_() : -1;
   }
   for (const auto& [pid, hold] : holds_) {  // std::map: already pid-sorted
-    state.holders.push_back({pid, hold.first, hold.second});
+    state.holders.push_back({pid, hold.units, hold.since, hold.ticket});
   }
   if (owner_) {
     state.running = *owner_;
     state.running_proc = owner_proc_;
     state.running_since = owner_since_;
+    state.running_ticket = owner_ticket_;
   }
   return state;
 }

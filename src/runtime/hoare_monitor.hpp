@@ -129,6 +129,8 @@ class HoareMonitor {
     trace::Pid pid;
     trace::SymbolId proc;
     util::TimeNs since;
+    /// Episode ticket assigned at each park (see next_ticket_).
+    std::uint64_t ticket = 0;
     sync::BinarySemaphore sem;
   };
 
@@ -139,8 +141,16 @@ class HoareMonitor {
     trace::Pid pid;
     trace::SymbolId proc;
     util::TimeNs since;
+    std::uint64_t ticket = 0;
     Waiter* waiter = nullptr;  ///< Null once resumed (zombie).
     bool zombie = false;
+  };
+
+  /// One pid's outstanding resource holds (note_hold registry).
+  struct Hold {
+    std::int64_t units = 0;
+    util::TimeNs since = 0;       ///< Start of the oldest outstanding hold.
+    std::uint64_t ticket = 0;     ///< Episode ticket of that oldest hold.
   };
 
   util::TimeNs now() const { return clock_->now_ns(); }
@@ -164,19 +174,28 @@ class HoareMonitor {
   Semantics semantics_;
 
   trace::SymbolTable symbols_;
-  trace::EventLog log_;
+  /// Single shard: every append happens under mu_, so sharding buys nothing
+  /// here, and one shard preserves the total append order that Algorithm-1's
+  /// segment replay depends on (see EventLog's ordering contract).
+  trace::EventLog log_{/*retain_history=*/false, /*shards=*/1};
   sync::CheckerGate gate_;
 
   mutable sync::SpinLock mu_;
   std::optional<trace::Pid> owner_;
   trace::SymbolId owner_proc_ = trace::kNoSymbol;
   util::TimeNs owner_since_ = 0;
+  std::uint64_t owner_ticket_ = 0;  ///< Episode ticket of this ownership.
   std::deque<EqEntry> entry_queue_;
   std::map<trace::SymbolId, std::deque<Waiter*>> cond_queues_;
   std::map<trace::Pid, trace::SymbolId> inside_proc_;
   std::vector<Waiter*> lost_waiters_;  ///< Parked forever by injection.
-  /// pid → (units held, start of oldest outstanding hold).
-  std::map<trace::Pid, std::pair<std::int64_t, util::TimeNs>> holds_;
+  std::map<trace::Pid, Hold> holds_;
+  /// Monotonic episode counter: bumped once per blocking episode (a park on
+  /// EQ or a CQ), per ownership hand-off, and per first resource hold.  It
+  /// makes episode identity clock-independent — snapshots taken under a
+  /// frozen ManualClock still distinguish a re-formed wait from a
+  /// continuous one (wait-for cycle validation).
+  std::uint64_t next_ticket_ = 0;
   std::function<std::int64_t()> resource_gauge_;
   bool track_resources_ = false;
   std::int64_t resources_ = -1;

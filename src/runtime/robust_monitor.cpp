@@ -17,6 +17,7 @@ RobustMonitor::RobustMonitor(core::MonitorSpec spec, core::ReportSink& sink,
   CheckerPool::MonitorOptions policy;
   policy.hold_gate_during_check = options_.hold_gate_during_check;
   policy.contribute_wait_edges = options_.contribute_wait_edges;
+  policy.max_stretch = options_.cadence_max_stretch;
   if (options_.retain_trace) {
     policy.on_checkpoint = [this](const trace::SchedulingState& s) {
       std::lock_guard<std::mutex> lock(checkpoints_mu_);
@@ -29,6 +30,7 @@ RobustMonitor::RobustMonitor(core::MonitorSpec spec, core::ReportSink& sink,
   } else {
     PeriodicChecker::Options checker_options;
     checker_options.hold_gate_during_check = policy.hold_gate_during_check;
+    checker_options.max_stretch = policy.max_stretch;
     checker_options.on_checkpoint = std::move(policy.on_checkpoint);
     checker_ = std::make_unique<PeriodicChecker>(
         monitor_, detector_, *options_.clock, std::move(checker_options));

@@ -45,6 +45,10 @@ class RobustMonitor {
     Semantics semantics = Semantics::kHoareSignalExit;
     /// Keep monitor traffic suspended for the whole check (paper mode).
     bool hold_gate_during_check = true;
+    /// Adaptive check cadence: while this monitor is idle its effective
+    /// check period stretches up to check_period × cadence_max_stretch
+    /// (see CheckerPool::MonitorOptions::max_stretch).  1.0 = fixed.
+    double cadence_max_stretch = 1.0;
     /// Retain the full event history and checkpoint states so that
     /// export_trace() can produce a replayable trace.
     bool retain_trace = false;

@@ -109,7 +109,9 @@ class SimMonitor {
   inject::InjectionController* injection_;
 
   trace::SymbolTable symbols_;
-  trace::EventLog log_;
+  /// Single shard: the simulator is cooperatively scheduled, so appends are
+  /// already serialized and one shard preserves total append order.
+  trace::EventLog log_{/*retain_history=*/false, /*shards=*/1};
 
   std::optional<trace::Pid> owner_;
   trace::SymbolId owner_proc_ = trace::kNoSymbol;

@@ -43,7 +43,9 @@ EventKind kind_from_code(char code, std::size_t line_no) {
 }  // namespace
 
 void write_trace(std::ostream& out, const TraceFile& trace) {
-  out << "robmon-trace v1\n";
+  // v2 appends the episode ticket as a trailing field on state/eq/cq/hold
+  // lines; a v1 document (no tickets) still parses, with tickets = 0.
+  out << "robmon-trace v2\n";
   out << "monitor " << trace.monitor_name << " " << trace.monitor_type << " "
       << trace.rmax << "\n";
   for (std::size_t i = 0; i < trace.symbols.size(); ++i) {
@@ -57,23 +59,23 @@ void write_trace(std::ostream& out, const TraceFile& trace) {
   for (const auto& state : trace.checkpoints) {
     out << "state " << state.captured_at << " " << state.resources << " "
         << state.running << " " << state.running_proc << " "
-        << state.running_since << "\n";
+        << state.running_since << " " << state.running_ticket << "\n";
     for (const auto& entry : state.entry_queue) {
       out << "eq " << entry.pid << " " << entry.proc << " "
-          << entry.enqueued_at << "\n";
+          << entry.enqueued_at << " " << entry.ticket << "\n";
     }
     for (const auto& queue : state.cond_queues) {
       for (const auto& entry : queue.entries) {
         out << "cq " << queue.cond << " " << entry.pid << " " << entry.proc
-            << " " << entry.enqueued_at << "\n";
+            << " " << entry.enqueued_at << " " << entry.ticket << "\n";
       }
       if (queue.entries.empty()) {
-        out << "cq " << queue.cond << " -1 -1 0\n";  // declare empty queue
+        out << "cq " << queue.cond << " -1 -1 0 0\n";  // declare empty queue
       }
     }
     for (const auto& hold : state.holders) {
       out << "hold " << hold.pid << " " << hold.units << " "
-          << hold.held_since << "\n";
+          << hold.held_since << " " << hold.ticket << "\n";
     }
     out << "endstate\n";
   }
@@ -98,7 +100,18 @@ TraceFile read_trace(std::istream& in) {
 
   if (!std::getline(in, line)) parse_error(1, "empty trace");
   ++line_no;
-  if (line != "robmon-trace v1") parse_error(1, "bad magic: " + line);
+  if (line != "robmon-trace v2" && line != "robmon-trace v1") {
+    parse_error(1, "bad magic: " + line);
+  }
+
+  // Tickets are a trailing v2 field; absent (v1) they default to 0, but a
+  // present-and-malformed value is a parse error like any other field.
+  auto read_ticket = [&line_no](std::istringstream& fields) -> std::uint64_t {
+    std::uint64_t ticket = 0;
+    if (fields >> ticket) return ticket;
+    if (fields.eof()) return 0;  // v1 line: field absent
+    parse_error(line_no, "bad ticket field");
+  };
 
   while (std::getline(in, line)) {
     ++line_no;
@@ -133,12 +146,14 @@ TraceFile read_trace(std::istream& in) {
       fields >> current.captured_at >> current.resources >> current.running >>
           current.running_proc >> current.running_since;
       if (fields.fail()) parse_error(line_no, "bad state line");
+      current.running_ticket = read_ticket(fields);
       in_state = true;
     } else if (tag == "eq") {
       if (!in_state) parse_error(line_no, "eq outside state block");
       QueueEntry entry;
       fields >> entry.pid >> entry.proc >> entry.enqueued_at;
       if (fields.fail()) parse_error(line_no, "bad eq line");
+      entry.ticket = read_ticket(fields);
       current.entry_queue.push_back(entry);
     } else if (tag == "cq") {
       if (!in_state) parse_error(line_no, "cq outside state block");
@@ -146,6 +161,7 @@ TraceFile read_trace(std::istream& in) {
       QueueEntry entry;
       fields >> cond >> entry.pid >> entry.proc >> entry.enqueued_at;
       if (fields.fail()) parse_error(line_no, "bad cq line");
+      entry.ticket = read_ticket(fields);
       auto* queue_state = [&]() -> CondQueueState* {
         for (auto& q : current.cond_queues) {
           if (q.cond == cond) return &q;
@@ -159,6 +175,7 @@ TraceFile read_trace(std::istream& in) {
       HoldEntry hold;
       fields >> hold.pid >> hold.units >> hold.held_since;
       if (fields.fail()) parse_error(line_no, "bad hold line");
+      hold.ticket = read_ticket(fields);
       current.holders.push_back(hold);
     } else if (tag == "endstate") {
       if (!in_state) parse_error(line_no, "endstate outside state block");

@@ -23,12 +23,14 @@ struct TraceFile {
   std::vector<SchedulingState> checkpoints;
 };
 
-/// Serialize to the robmon-trace v1 text format.
+/// Serialize to the robmon-trace v2 text format (v1 plus per-entry episode
+/// tickets on state/eq/cq/hold lines).
 void write_trace(std::ostream& out, const TraceFile& trace);
 std::string write_trace_string(const TraceFile& trace);
 
-/// Parse a robmon-trace v1 document.  Throws std::runtime_error with a
-/// line-numbered message on malformed input.
+/// Parse a robmon-trace v1 or v2 document (v1 entries get ticket 0).
+/// Throws std::runtime_error with a line-numbered message on malformed
+/// input.
 TraceFile read_trace(std::istream& in);
 TraceFile read_trace_string(const std::string& text);
 

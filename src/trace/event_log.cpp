@@ -12,25 +12,51 @@ bool seq_less(const EventRecord& a, const EventRecord& b) {
   return a.seq < b.seq;
 }
 
+std::uint64_t next_log_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
 }  // namespace
 
-EventLog::EventLog(bool retain_history, std::size_t shards)
+EventLog::EventLog(bool retain_history, std::size_t shards,
+                   std::uint64_t seq_block)
     : shard_count_(shards == 0 ? 1 : shards),
+      seq_block_(seq_block == 0 ? 1 : seq_block),
+      log_id_(next_log_id()),
       shards_(std::make_unique<Shard[]>(shard_count_)),
       retain_history_(retain_history) {}
 
 EventLog::Shard& EventLog::shard_for_thread() {
+  // Per-thread cache of the last (log, shard) pair: the hot path is one
+  // compare + deref.  Keyed by log_id_, not address, so a log constructed
+  // at a destroyed log's address cannot resolve to a dangling shard.
+  struct Cache {
+    std::uint64_t log_id = 0;
+    Shard* shard = nullptr;
+  };
+  thread_local Cache cache;
+  if (cache.log_id == log_id_) return *cache.shard;
   static std::atomic<std::size_t> next_slot{0};
   thread_local const std::size_t slot =
       next_slot.fetch_add(1, std::memory_order_relaxed);
-  return shards_[slot % shard_count_];
+  cache.log_id = log_id_;
+  cache.shard = &shards_[slot % shard_count_];
+  return *cache.shard;
 }
 
 std::uint64_t EventLog::append(EventRecord event) {
   Shard& shard = shard_for_thread();
   std::lock_guard<sync::SpinLock> lock(shard.mu);
-  event.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  if (shard.seq_next == shard.seq_end) {
+    shard.seq_next = next_seq_.fetch_add(seq_block_, std::memory_order_relaxed);
+    shard.seq_end = shard.seq_next + seq_block_;
+  }
+  event.seq = shard.seq_next++;
   shard.active.push_back(event);
+  // Plain store (not an RMW): appended is only written under shard.mu.
+  shard.appended.store(shard.appended.load(std::memory_order_relaxed) + 1,
+                       std::memory_order_relaxed);
   return event.seq;
 }
 
@@ -39,11 +65,15 @@ std::vector<EventRecord> EventLog::drain() {
 
   // Constant-time handoff per shard: swap the append buffer for the empty
   // standby while holding the spinlock, merge outside every append lock.
+  // Retiring the shard's sequence block pins the drain boundary in seq
+  // space: every later append draws a block past the global counter, so it
+  // sorts after everything returned here.
   std::size_t total = 0;
   for (std::size_t i = 0; i < shard_count_; ++i) {
     Shard& shard = shards_[i];
     std::lock_guard<sync::SpinLock> lock(shard.mu);
     shard.active.swap(shard.standby);
+    shard.seq_next = shard.seq_end;
     total += shard.standby.size();
   }
 
@@ -66,14 +96,21 @@ std::vector<EventRecord> EventLog::drain() {
 }
 
 std::size_t EventLog::pending() const {
-  const std::uint64_t appended = next_seq_.load(std::memory_order_relaxed);
+  std::uint64_t appended = 0;
+  for (std::size_t i = 0; i < shard_count_; ++i) {
+    appended += shards_[i].appended.load(std::memory_order_relaxed);
+  }
   const std::uint64_t drained = drained_.load(std::memory_order_relaxed);
   return appended >= drained ? static_cast<std::size_t>(appended - drained)
                              : 0;
 }
 
 std::uint64_t EventLog::total_appended() const {
-  return next_seq_.load(std::memory_order_relaxed);
+  std::uint64_t appended = 0;
+  for (std::size_t i = 0; i < shard_count_; ++i) {
+    appended += shards_[i].appended.load(std::memory_order_relaxed);
+  }
+  return appended;
 }
 
 void EventLog::set_retention(bool retain) {
@@ -99,7 +136,8 @@ std::vector<EventRecord> EventLog::history() const {
   if (!retention()) return {};
 
   // Excluding drains (drain_mu_) keeps "archived" and "pending" disjoint;
-  // appenders are never blocked by history readers.
+  // appenders are never blocked by history readers.  Drain-boundary seq
+  // monotonicity keeps the concatenation in sequence order.
   std::lock_guard<std::mutex> drain_lock(drain_mu_);
   std::vector<Segment> segments;
   {

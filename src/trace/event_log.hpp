@@ -9,12 +9,26 @@
 // double-buffered vectors, so concurrent appenders from different threads
 // rarely contend on one lock, and drain() swaps each shard's active buffer
 // for its empty standby instead of copying event data while a spinlock is
-// held.  Sequence numbers are issued from one atomic counter; drain() merges
-// the shard segments back into global sequence order.  Within one drain the
-// result is always seq-sorted; the guarantee that *no* event migrates past a
-// drain boundary holds whenever the caller quiesces appenders first (the
-// checker gate's exclusive side), which is how every checking routine calls
-// it.
+// held.  The shard an appender writes to is resolved once and cached
+// per thread (one pointer compare per append, no modulo).
+//
+// Sequence numbers are reserved from one global counter in *blocks* (one
+// atomic fetch_add per seq_block appends per shard), so appenders on
+// different shards do not bounce the counter's cache line on every event.
+// Ordering contract:
+//   * seqs are unique, and monotone in append order within one shard —
+//     hence per-thread monotone (a thread sticks to its shard);
+//   * across shards the order is block-approximate, NOT the real-time
+//     interleaving;
+//   * drain() discards each shard's unused block remainder, so every event
+//     appended after a drain sorts after every event that drain returned
+//     (seqs never migrate past a drain boundary);
+//   * a single-shard log whose appends are externally serialized (the
+//     HoareMonitor discipline: every append happens under the monitor's
+//     internal lock) keeps the full total append order.  Algorithm-1's
+//     segment replay depends on that order, which is why monitor logs are
+//     built with shards = 1.
+// Because blocks may be retired with unused remainders, seqs are not dense.
 #pragma once
 
 #include <atomic>
@@ -34,8 +48,14 @@ class EventLog {
   /// memory on mostly-idle monitors.
   static constexpr std::size_t kDefaultShards = 8;
 
+  /// Default sequence-block size B: one fetch_add on the shared counter per
+  /// B appends per shard.  1 reproduces the per-event allocation (dense
+  /// seqs, real-time cross-shard order) — the bench baseline.
+  static constexpr std::uint64_t kDefaultSeqBlock = 16;
+
   explicit EventLog(bool retain_history = false,
-                    std::size_t shards = kDefaultShards);
+                    std::size_t shards = kDefaultShards,
+                    std::uint64_t seq_block = kDefaultSeqBlock);
 
   EventLog(const EventLog&) = delete;
   EventLog& operator=(const EventLog&) = delete;
@@ -45,7 +65,9 @@ class EventLog {
 
   /// Remove and return every event buffered since the last drain, merged
   /// into sequence order.  Constant-time buffer swap per shard under the
-  /// shard spinlock; the merge happens outside all append locks.
+  /// shard spinlock; the merge happens outside all append locks.  Unused
+  /// sequence-block remainders are discarded, so later appends always sort
+  /// after this segment.
   std::vector<EventRecord> drain();
 
   /// Number of events currently buffered (not yet drained).
@@ -65,14 +87,20 @@ class EventLog {
   std::vector<EventRecord> history() const;
 
   std::size_t shard_count() const { return shard_count_; }
+  std::uint64_t seq_block() const { return seq_block_; }
 
  private:
   /// One append shard: active receives appends; standby is the drained-out
-  /// double buffer, reused (capacity kept) across drains.
+  /// double buffer, reused (capacity kept) across drains.  seq_next/seq_end
+  /// is the shard's cached sequence block; appended counts events ever
+  /// appended here (written under mu, read lock-free by accounting).
   struct alignas(64) Shard {
     mutable sync::SpinLock mu;
     std::vector<EventRecord> active;
     std::vector<EventRecord> standby;
+    std::uint64_t seq_next = 0;
+    std::uint64_t seq_end = 0;
+    std::atomic<std::uint64_t> appended{0};
   };
 
   using Segment = std::shared_ptr<const std::vector<EventRecord>>;
@@ -82,6 +110,10 @@ class EventLog {
   std::vector<EventRecord> pending_snapshot() const;
 
   const std::size_t shard_count_;
+  const std::uint64_t seq_block_;
+  /// Identifies this instance in the per-thread shard cache (address reuse
+  /// after destruction must not resolve to a stale shard pointer).
+  const std::uint64_t log_id_;
   std::unique_ptr<Shard[]> shards_;
 
   std::atomic<std::uint64_t> next_seq_{0};

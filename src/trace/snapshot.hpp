@@ -15,11 +15,16 @@
 namespace robmon::trace {
 
 /// One process parked on a queue: who, which procedure it called, and when
-/// it was enqueued (for Timer checks).
+/// it was enqueued (for Timer checks).  `ticket` is the monitor's monotonic
+/// episode counter, bumped once per blocking episode: it identifies the
+/// episode independently of the clock (two episodes under a frozen
+/// ManualClock share a timestamp but never a ticket).  0 = unknown
+/// (pre-ticket traces).
 struct QueueEntry {
   Pid pid = kNoPid;
   SymbolId proc = kNoSymbol;
   util::TimeNs enqueued_at = 0;
+  std::uint64_t ticket = 0;
 
   bool operator==(const QueueEntry&) const = default;
 };
@@ -40,6 +45,7 @@ struct HoldEntry {
   Pid pid = kNoPid;
   std::int64_t units = 0;        ///< Units currently held (≥ 1).
   util::TimeNs held_since = 0;   ///< Start of the oldest outstanding hold.
+  std::uint64_t ticket = 0;      ///< Episode ticket of the oldest hold.
 
   bool operator==(const HoldEntry&) const = default;
 };
@@ -66,6 +72,9 @@ struct SchedulingState {
   Pid running = kNoPid;
   SymbolId running_proc = kNoSymbol;
   util::TimeNs running_since = 0;
+  /// Episode ticket of the current ownership (one per ownership hand-off);
+  /// 0 when nobody runs or the trace predates tickets.
+  std::uint64_t running_ticket = 0;
 
   bool has_running() const { return running != kNoPid; }
 

@@ -178,12 +178,13 @@ MultiLoadResult run_multi_load(const MultiLoadOptions& options) {
   // counters are comparable: the old architecture is M pools of one thread,
   // the new one is a single pool of K ≤ hardware-concurrency threads.
   std::vector<std::unique_ptr<rt::CheckerPool>> engines;
+  rt::CheckerPool::Options pool_options;
+  pool_options.max_batch = options.max_batch;
+  pool_options.batch_window = options.batch_window;
   if (options.mode == CheckerMode::kSharedPool) {
-    rt::CheckerPool::Options pool_options;
     pool_options.threads = options.pool_threads;
     engines.push_back(std::make_unique<rt::CheckerPool>(pool_options));
   } else {
-    rt::CheckerPool::Options pool_options;
     pool_options.threads = 1;
     for (std::size_t i = 0; i < monitor_count; ++i) {
       engines.push_back(std::make_unique<rt::CheckerPool>(pool_options));
@@ -221,6 +222,7 @@ MultiLoadResult run_multi_load(const MultiLoadOptions& options) {
     sinks.push_back(std::make_unique<core::CollectingSink>());
     rt::RobustMonitor::Options monitor_options;
     monitor_options.checker_pool = engine_for(i);
+    monitor_options.cadence_max_stretch = options.max_stretch;
     monitor_options.hold_gate_during_check =
         options.mix_gate_policies && i % 2 == 1
             ? !options.hold_gate_during_check
@@ -331,12 +333,24 @@ MultiLoadResult run_multi_load(const MultiLoadOptions& options) {
     engine_checks += engine->checks_executed();
     quiesce_ns += engine->total_quiesce_ns();
     check_ns += engine->total_check_ns();
+    result.dispatches += engine->dispatches();
+    result.checks_coalesced += engine->checks_coalesced();
+  }
+  for (std::size_t i = 0; i < monitor_count; ++i) {
+    result.idle_checks += monitors[i]->detector().idle_checks();
   }
   if (engine_checks > 0) {
     result.avg_quiesce_us =
         static_cast<double>(quiesce_ns) / engine_checks / 1000.0;
     result.avg_check_us =
         static_cast<double>(check_ns) / engine_checks / 1000.0;
+    result.dispatches_per_1k_checks =
+        static_cast<double>(result.dispatches) * 1000.0 /
+        static_cast<double>(engine_checks);
+  }
+  if (result.dispatches > 0) {
+    result.avg_batch = static_cast<double>(engine_checks) /
+                       static_cast<double>(result.dispatches);
   }
 
   result.faults_expected = faulty;

@@ -70,6 +70,14 @@ struct MultiLoadOptions {
   /// opposite policy when mix_gate_policies is set, exercising coexistence.
   bool hold_gate_during_check = true;
   bool mix_gate_policies = false;
+
+  /// Engine dispatch knobs (rt::CheckerPool::Options passthrough).
+  /// max_batch = 1 reproduces the per-item engine — the bench baseline;
+  /// 0 = unbounded batches.
+  std::size_t max_batch = 0;
+  util::TimeNs batch_window = -1;  ///< -1 = auto (one period quantum).
+  /// Adaptive cadence ceiling per monitor (1.0 = fixed cadence).
+  double max_stretch = 1.0;
 };
 
 struct MultiLoadResult {
@@ -82,6 +90,11 @@ struct MultiLoadResult {
   std::size_t checker_threads = 0;    ///< Detection threads provisioned.
   double avg_quiesce_us = 0.0;        ///< Gate-exclusive window per check.
   double avg_check_us = 0.0;          ///< Full checking routine per check.
+  std::uint64_t dispatches = 0;       ///< Engine dispatches (batches).
+  double avg_batch = 0.0;             ///< Checks per dispatch.
+  double dispatches_per_1k_checks = 0.0;  ///< Wake-up cost per 1k checks.
+  std::uint64_t checks_coalesced = 0; ///< Missed deadlines absorbed.
+  std::uint64_t idle_checks = 0;      ///< Checks that drained nothing.
   std::size_t faults_expected = 0;    ///< == faulty_monitors.
   std::size_t faulty_detected = 0;    ///< Faulty monitors with ≥1 report.
   std::size_t missed_detections = 0;  ///< Faulty monitors with no report.

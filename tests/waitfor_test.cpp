@@ -443,5 +443,87 @@ TEST(PoolWaitForTest, FrozenManualClockStillDetectsDeadlock) {
   m1.stop_checking();
 }
 
+// --- Episode tickets (clock-independent episode identity). -------------------
+
+TEST(EpisodeTicketTest, LinkValidationMatchesByTicketNotTimestamp) {
+  trace::SymbolTable symbols;
+  // A fresh snapshot where p1 waits on the entry queue (ticket 7) behind
+  // running p2 (ticket 9); the timestamps alias a frozen clock (all 100).
+  trace::SchedulingState state;
+  state.entry_queue = {{1, trace::kNoSymbol, 100, 7}};
+  state.running = 2;
+  state.running_since = 100;
+  state.running_ticket = 9;
+
+  DeadlockCycle::Link link;
+  link.pid = 1;
+  link.monitor = 1;
+  link.blocked_since = 100;
+  link.holder = 2;
+  link.held_since = 100;
+  link.blocked_ticket = 7;
+  link.holder_ticket = 9;
+  EXPECT_TRUE(core::link_holds_in(link, state, symbols));
+
+  // Same timestamps, different episode: the wait re-formed (new ticket).
+  link.blocked_ticket = 6;
+  EXPECT_FALSE(core::link_holds_in(link, state, symbols))
+      << "timestamp aliasing must not confirm a re-formed wait";
+  link.blocked_ticket = 7;
+  link.holder_ticket = 8;  // ownership changed hands and came back
+  EXPECT_FALSE(core::link_holds_in(link, state, symbols));
+
+  // Pre-ticket links (0) fall back to timestamp matching.
+  link.blocked_ticket = 0;
+  link.holder_ticket = 0;
+  EXPECT_TRUE(core::link_holds_in(link, state, symbols));
+}
+
+TEST(EpisodeTicketTest, FrozenClockSnapshotsDistinguishEpisodes) {
+  // Two blocking episodes of the same thread under a frozen ManualClock:
+  // identical enqueue timestamps, distinct tickets — the property the
+  // checkpoint validator relies on for exactness.
+  util::ManualClock clock(1000);
+  rt::HoareMonitor monitor(fork_spec("frozen"), clock);
+
+  ASSERT_EQ(monitor.enter(1, "Acquire"), rt::Status::kOk);  // occupies
+  std::thread blocked([&] { (void)monitor.enter(2, "Acquire"); });
+  trace::SchedulingState first;
+  for (int spin = 0; spin < 4000; ++spin) {
+    first = monitor.snapshot();
+    if (!first.entry_queue.empty()) break;
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+  }
+  ASSERT_EQ(first.entry_queue.size(), 1u);
+  const std::uint64_t first_ticket = first.entry_queue[0].ticket;
+  const std::uint64_t first_owner_ticket = first.running_ticket;
+  EXPECT_NE(first_ticket, 0u);
+  EXPECT_NE(first_owner_ticket, 0u);
+
+  monitor.exit(1);  // admits p2, which exits; episode one over
+  blocked.join();
+  monitor.exit(2);
+
+  ASSERT_EQ(monitor.enter(1, "Acquire"), rt::Status::kOk);
+  std::thread blocked_again([&] { (void)monitor.enter(2, "Acquire"); });
+  trace::SchedulingState second;
+  for (int spin = 0; spin < 4000; ++spin) {
+    second = monitor.snapshot();
+    if (!second.entry_queue.empty()) break;
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+  }
+  ASSERT_EQ(second.entry_queue.size(), 1u);
+
+  // Frozen clock: timestamps alias; tickets do not.
+  EXPECT_EQ(second.entry_queue[0].enqueued_at,
+            first.entry_queue[0].enqueued_at);
+  EXPECT_NE(second.entry_queue[0].ticket, first_ticket);
+  EXPECT_NE(second.running_ticket, first_owner_ticket);
+
+  monitor.exit(1);
+  blocked_again.join();
+  monitor.exit(2);
+}
+
 }  // namespace
 }  // namespace robmon
