@@ -109,6 +109,8 @@ int main(int argc, char** argv) {
   flags.define("check-period-ms", "2", "checking cadence per monitor");
   flags.define("max-stretch", "4",
                "adaptive-cadence ceiling for the adaptive engine shape");
+  flags.define("predict-period-ms", "4",
+               "lock-order prediction checkpoint cadence (predict shape)");
   flags.define("appender-threads", "1,8",
                "comma-separated appender thread counts");
   flags.define("appender-events", "200000", "events per appender thread");
@@ -146,17 +148,22 @@ int main(int argc, char** argv) {
     }
   }
 
-  // --- Pool sweep: per-item vs batched vs batched+adaptive. ------------------
+  // --- Pool sweep: per-item vs batched vs batched+adaptive vs batched
+  // with the lock-order prediction checkpoint on (the "predict" column
+  // isolates the per-check fold overhead of the order relation; detection
+  // scorecard must stay perfect and zero kPotentialDeadlock may fire).
   struct Shape {
     const char* name;
     std::size_t max_batch;
     double max_stretch;
+    bool lockorder;
   };
   const double stretch = flags.f64("max-stretch");
   const Shape shapes[] = {
-      {"per-item", 1, 1.0},
-      {"batched", 0, 1.0},
-      {"adaptive", 0, stretch},
+      {"per-item", 1, 1.0, false},
+      {"batched", 0, 1.0, false},
+      {"adaptive", 0, stretch, false},
+      {"predict", 0, 1.0, true},
   };
 
   std::vector<PoolRow> pool_rows;
@@ -181,6 +188,10 @@ int main(int argc, char** argv) {
       options.check_period = flags.i64("check-period-ms") * util::kMillisecond;
       options.max_batch = shape.max_batch;
       options.max_stretch = shape.max_stretch;
+      if (shape.lockorder) {
+        options.lockorder_checkpoint_period =
+            flags.i64("predict-period-ms") * util::kMillisecond;
+      }
 
       PoolRow row;
       row.monitors = monitors;
@@ -198,10 +209,14 @@ int main(int argc, char** argv) {
                   row.result.faulty_detected, row.result.faults_expected,
                   row.result.missed_detections);
       if (row.result.missed_detections > 0 ||
-          row.result.false_positive_monitors > 0) {
-        std::printf("  ^ FAILED: %zu missed, %zu false-positive monitors\n",
-                    row.result.missed_detections,
-                    row.result.false_positive_monitors);
+          row.result.false_positive_monitors > 0 ||
+          row.result.potential_deadlocks > 0) {
+        std::printf(
+            "  ^ FAILED: %zu missed, %zu false-positive monitors, "
+            "%zu spurious potential-deadlock warnings\n",
+            row.result.missed_detections,
+            row.result.false_positive_monitors,
+            row.result.potential_deadlocks);
         detection_failed = true;
       }
     }
@@ -209,6 +224,7 @@ int main(int argc, char** argv) {
 
   // --- Machine-readable artifact. --------------------------------------------
   std::size_t missed_total = 0, false_positive_total = 0;
+  std::size_t potential_total = 0;
   // The regression-gate summary only considers warm rows (enough checks to
   // amortize cold caches); a one-check M=1 row is a cold-start sample that
   // would inflate the baseline and de-fang the CI gate.
@@ -217,6 +233,7 @@ int main(int argc, char** argv) {
   for (const PoolRow& row : pool_rows) {
     missed_total += row.result.missed_detections;
     false_positive_total += row.result.false_positive_monitors;
+    potential_total += row.result.potential_deadlocks;
     if (row.result.checks_run >= kWarmChecks) {
       max_per_check_ns = std::max(max_per_check_ns, row.per_check_ns);
     } else {
@@ -260,7 +277,9 @@ int main(int argc, char** argv) {
         "\"avg_batch\": %.2f, \"checks_coalesced\": %llu, "
         "\"idle_checks\": %llu, \"ops_per_sec\": %.0f, "
         "\"faults_expected\": %zu, \"faults_detected\": %zu, "
-        "\"missed_detections\": %zu, \"false_positive_monitors\": %zu}%s\n",
+        "\"missed_detections\": %zu, \"false_positive_monitors\": %zu, "
+        "\"lockorder_checkpoints\": %llu, "
+        "\"potential_deadlocks\": %zu}%s\n",
         row.monitors, row.mode.c_str(),
         static_cast<unsigned long long>(r.checks_run), row.per_check_ns,
         r.avg_quiesce_us, static_cast<unsigned long long>(r.dispatches),
@@ -268,13 +287,16 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(r.checks_coalesced),
         static_cast<unsigned long long>(r.idle_checks), r.ops_per_second,
         r.faults_expected, r.faulty_detected, r.missed_detections,
-        r.false_positive_monitors, i + 1 < pool_rows.size() ? "," : "");
+        r.false_positive_monitors,
+        static_cast<unsigned long long>(r.lockorder_checkpoints),
+        r.potential_deadlocks, i + 1 < pool_rows.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
   std::fprintf(out, "  \"summary\": {\n");
   std::fprintf(out, "    \"missed_detections\": %zu,\n", missed_total);
   std::fprintf(out, "    \"false_positive_monitors\": %zu,\n",
                false_positive_total);
+  std::fprintf(out, "    \"potential_deadlocks\": %zu,\n", potential_total);
   std::fprintf(out, "    \"max_per_check_ns\": %.0f\n", max_per_check_ns);
   std::fprintf(out, "  }\n");
   std::fprintf(out, "}\n");

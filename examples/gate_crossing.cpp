@@ -1,0 +1,111 @@
+// Lock-order prediction demo: monitors acquired in inconsistent orders
+// under a gate that prevents the real deadlock.  The run must end with at
+// least one kPotentialDeadlock warning naming the exact monitor order-cycle
+// and zero kGlobalDeadlock reports; with --consistent=true every thread
+// takes the same global order and the run must end with zero warnings.
+// The exit status is the contract (CI smoke): a missed warning, a warning
+// in the consistent control, or any global-deadlock false positive fails.
+//
+//   ./example_gate_crossing
+//   ./example_gate_crossing --consistent=true
+//   ./example_gate_crossing --trace=/tmp/gate.trace   # robmon-trace v3
+#include <cstdio>
+#include <fstream>
+
+#include "trace/codec.hpp"
+#include "util/flags.hpp"
+#include "workloads/gate_crossing.hpp"
+
+using namespace robmon;
+
+int main(int argc, char** argv) {
+  util::Flags flags;
+  flags.define("lanes", "3", "monitors crossed by every thread");
+  flags.define("threads", "3", "gate-crossing threads");
+  flags.define("rounds", "4", "crossings per thread");
+  flags.define("consistent", "false",
+               "all threads use one global order (no warning expected)");
+  flags.define("dwell-ms", "4", "full-hold window per crossing");
+  flags.define("timeout-ms", "30000", "give up after this long");
+  flags.define("trace", "",
+               "export the acquisition-order relation as a robmon-trace v3 "
+               "file (replayable with example_trace_replay)");
+  if (!flags.parse(argc, argv)) return 2;
+
+  wl::GateCrossingOptions options;
+  options.lanes = static_cast<std::size_t>(flags.i64("lanes"));
+  options.threads = static_cast<int>(flags.i64("threads"));
+  options.rounds = static_cast<int>(flags.i64("rounds"));
+  options.consistent_order = flags.boolean("consistent");
+  options.dwell_ns = flags.i64("dwell-ms") * util::kMillisecond;
+  options.run_timeout = flags.i64("timeout-ms") * util::kMillisecond;
+
+  std::printf("gate-crossing: %zu lanes, %d threads, %d rounds, %s order\n",
+              options.lanes, options.threads, options.rounds,
+              options.consistent_order ? "consistent" : "rotated");
+  const wl::GateCrossingResult result = wl::run_gate_crossing(options);
+
+  std::printf("completed: %s\n", result.completed ? "yes" : "NO");
+  std::printf("order edges recorded: %zu (prediction checkpoints: %llu)\n",
+              result.order_edges,
+              static_cast<unsigned long long>(result.lockorder_checkpoints));
+  std::printf("potential-deadlock warnings: %zu\n",
+              result.potential_deadlocks);
+  for (const auto& cycle : result.cycles) {
+    std::printf("  %s\n", cycle.c_str());
+  }
+  std::printf("global-deadlock reports: %zu\n", result.global_deadlocks);
+
+  const std::string trace_path = flags.str("trace");
+  if (!trace_path.empty()) {
+    trace::TraceFile file;
+    file.monitor_name = "gate-crossing";
+    file.monitor_type = "pool";
+    file.lock_order = core::to_order_records(result.edges);
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   trace_path.c_str());
+      return 1;
+    }
+    trace::write_trace(out, file);
+    std::printf("order relation (%zu witnesses) -> %s\n",
+                file.lock_order.size(), trace_path.c_str());
+  }
+
+  if (!result.completed) {
+    std::printf("FAIL: workload did not complete\n");
+    return 1;
+  }
+  if (result.global_deadlocks > 0) {
+    std::printf("FAIL: the gate prevents every real cycle; any "
+                "global-deadlock report is a false positive\n");
+    return 1;
+  }
+  // The workload is fault-free by construction, so beyond the expected
+  // prediction warnings *no* report of any kind may appear — a spurious
+  // per-monitor ST verdict on a clean lane is a false positive too.
+  const std::size_t other_reports = result.fault_reports -
+                                    result.potential_deadlocks -
+                                    result.global_deadlocks;
+  if (other_reports > 0) {
+    std::printf("FAIL: %zu unexpected per-monitor report(s) on clean "
+                "lanes\n",
+                other_reports);
+    return 1;
+  }
+  if (options.consistent_order) {
+    if (result.potential_deadlocks > 0) {
+      std::printf("FAIL: consistent order must not be warned about\n");
+      return 1;
+    }
+    std::printf("OK: consistent order, no warnings\n");
+  } else {
+    if (result.potential_deadlocks == 0) {
+      std::printf("FAIL: the rotated order cycle was not predicted\n");
+      return 1;
+    }
+    std::printf("OK: latent deadlock predicted before it ever happened\n");
+  }
+  return 0;
+}

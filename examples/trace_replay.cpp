@@ -6,12 +6,15 @@
 //   ./trace_replay --mode=replay --file=/tmp/run.trace
 //
 // Record mode runs a producer/consumer workload with full trace retention
-// (optionally with an injected fault) and writes the robmon-trace v1 file;
-// replay mode re-runs Algorithms 1-3 over every recorded checkpoint.
+// (optionally with an injected fault) and writes the robmon-trace v3 file;
+// replay mode re-runs Algorithms 1-3 over every recorded checkpoint and —
+// when the document carries a persisted acquisition-order relation —
+// re-derives the lock-order prediction warnings offline.
 #include <cstdio>
 #include <fstream>
 #include <thread>
 
+#include "core/lockorder.hpp"
 #include "core/replay.hpp"
 #include "inject/injection.hpp"
 #include "runtime/robust_monitor.hpp"
@@ -77,16 +80,36 @@ int replay(const std::string& path) {
               static_cast<long long>(file.rmax), file.events.size(),
               file.checkpoints.size());
 
-  const core::ReplayResult result = core::replay_trace(file);
-  std::printf("replayed %zu checking points over %zu events (%zu after the "
-              "final checkpoint, unchecked)\n",
-              result.checkpoints_processed, result.events_processed,
-              result.events_unchecked);
-  std::printf("fault reports: %zu\n", result.reports.size());
   trace::SymbolTable symbols;
   for (const auto& name : file.symbols) symbols.intern(name);
-  for (const auto& report : result.reports) {
-    std::printf("  %s\n", core::describe(report, symbols).c_str());
+
+  // Pool-scoped documents (e.g. example_gate_crossing --trace) may carry
+  // only the order relation; Algorithms 1-3 need a recorded history.
+  if (!file.events.empty() || !file.checkpoints.empty()) {
+    const core::ReplayResult result = core::replay_trace(file);
+    std::printf("replayed %zu checking points over %zu events (%zu after "
+                "the final checkpoint, unchecked)\n",
+                result.checkpoints_processed, result.events_processed,
+                result.events_unchecked);
+    std::printf("fault reports: %zu\n", result.reports.size());
+    for (const auto& report : result.reports) {
+      std::printf("  %s\n", core::describe(report, symbols).c_str());
+    }
+  }
+
+  // v3 documents may carry the pool's acquisition-order relation; re-derive
+  // the lock-order prediction warnings from the persisted witnesses.
+  if (!file.lock_order.empty()) {
+    core::LockOrderGraph graph;
+    graph.restore(core::order_edges_from_records(file.lock_order));
+    const auto cycles = graph.find_cycles();
+    std::printf("lock-order relation: %zu witnesses, %zu edges, "
+                "%zu predicted deadlock(s)\n",
+                file.lock_order.size(), graph.edge_count(), cycles.size());
+    for (const auto& cycle : cycles) {
+      const core::FaultReport report = core::make_order_report(cycle, 0);
+      std::printf("  %s\n", core::describe(report, symbols).c_str());
+    }
   }
   return 0;
 }

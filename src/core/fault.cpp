@@ -27,6 +27,7 @@ FaultLevel level_of(FaultKind kind) {
     case FaultKind::kResourceNeverReleased:
     case FaultKind::kDoubleAcquireDeadlock:
     case FaultKind::kGlobalDeadlock:
+    case FaultKind::kPotentialDeadlock:
       return FaultLevel::kUserProcess;
     default:
       return FaultLevel::kImplementation;
@@ -79,6 +80,8 @@ std::string_view to_string(FaultKind kind) {
       return "double-acquire-deadlock";
     case FaultKind::kGlobalDeadlock:
       return "global-deadlock";
+    case FaultKind::kPotentialDeadlock:
+      return "potential-deadlock";
   }
   return "?";
 }
@@ -129,6 +132,8 @@ std::string_view paper_designation(FaultKind kind) {
       return "III.c";
     case FaultKind::kGlobalDeadlock:
       return "ext.WF";
+    case FaultKind::kPotentialDeadlock:
+      return "ext.LO";
   }
   return "?";
 }
@@ -197,6 +202,10 @@ std::string_view description(FaultKind kind) {
     case FaultKind::kGlobalDeadlock:
       return "global deadlock: circular wait across monitors, each process "
              "blocked on a resource held by the next";
+    case FaultKind::kPotentialDeadlock:
+      return "potential deadlock: monitors are acquired in inconsistent "
+             "orders by different processes; a schedule exists that closes "
+             "the cycle even though this run never did";
   }
   return "?";
 }
@@ -284,6 +293,8 @@ std::string_view to_string(RuleId rule) {
       return "monitor assertion failed";
     case RuleId::kWfCycleDetected:
       return "WF cross-monitor wait-for cycle";
+    case RuleId::kLockOrderCycle:
+      return "LO lock-order cycle (predicted deadlock)";
   }
   return "?";
 }
@@ -306,6 +317,7 @@ FaultLevel level_of(RuleId rule) {
     case RuleId::kFd7bReleaseWithoutAcquire:
     case RuleId::kRealTimeOrder:
     case RuleId::kWfCycleDetected:
+    case RuleId::kLockOrderCycle:
       return FaultLevel::kUserProcess;
     case RuleId::kUserAssertion:
       return FaultLevel::kMonitorProcedure;

@@ -53,15 +53,20 @@ enum class FaultKind : std::uint8_t {
   kReleaseBeforeAcquire,    ///< III.a release without prior acquire.
   kResourceNeverReleased,   ///< III.b acquired but never released.
   kDoubleAcquireDeadlock,   ///< III.c re-acquire without release (deadlock).
-  // Extension beyond the paper's 21 classes (pool-level analysis): a
+  // Extensions beyond the paper's 21 classes (pool-level analysis): a
   // circular wait spanning several monitors, invisible to the per-monitor
-  // Algorithms 1-3 and detected by the CheckerPool's wait-for checkpoint.
+  // Algorithms 1-3 and detected by the CheckerPool's wait-for checkpoint —
+  // and its predictive counterpart, a cycle in the observed acquisition-
+  // order relation that never materialized as a real wait cycle
+  // (Goodlock-style lock-order prediction).
   kGlobalDeadlock,          ///< ext.WF cross-monitor circular wait.
+  kPotentialDeadlock,       ///< ext.LO lock-order cycle; fault not yet real.
 };
 
-/// The paper's taxonomy size; kGlobalDeadlock is an extension on top and is
-/// deliberately excluded (it is detected structurally at the pool level,
-/// not injected through the per-monitor catalog).
+/// The paper's taxonomy size; kGlobalDeadlock and kPotentialDeadlock are
+/// extensions on top and are deliberately excluded (they are detected
+/// structurally at the pool level, not injected through the per-monitor
+/// catalog).
 constexpr std::size_t kFaultKindCount = 21;
 
 FaultLevel level_of(FaultKind kind);
@@ -117,9 +122,12 @@ enum class RuleId : std::uint8_t {
   kRealTimeOrder,
   // Section 5 extension: predefined / user-supplied assertion failed.
   kUserAssertion,
-  // Pool-level extension: wait-for cycle across monitors confirmed at a
-  // CheckerPool checkpoint (suspected fault kGlobalDeadlock).
+  // Pool-level extensions: wait-for cycle across monitors confirmed at a
+  // CheckerPool checkpoint (suspected fault kGlobalDeadlock), and an
+  // acquisition-order cycle found by the lock-order prediction checkpoint
+  // (suspected fault kPotentialDeadlock — a warning, not a failure).
   kWfCycleDetected,
+  kLockOrderCycle,
 };
 
 std::string_view to_string(RuleId rule);

@@ -1,9 +1,11 @@
 #include "core/fd_rules.hpp"
 
+#include <algorithm>
 #include <map>
 #include <sstream>
 #include <stdexcept>
 
+#include "core/lockorder.hpp"
 #include "core/waitfor.hpp"
 
 namespace robmon::core {
@@ -384,6 +386,40 @@ std::vector<FaultReport> validate_wait_for(
   std::vector<FaultReport> reports;
   for (const DeadlockCycle& cycle : graph.find_cycles()) {
     reports.push_back(make_cycle_report(cycle, final_time));
+  }
+  return reports;
+}
+
+std::vector<FaultReport> validate_lock_order(
+    const std::vector<LockOrderInput>& monitors, util::TimeNs final_time) {
+  // Interleave every monitor's checkpoints by capture time so the relation
+  // accumulates exactly as the live pool's per-check folds would have.
+  struct Fold {
+    util::TimeNs at;
+    OrderMonitorId monitor;
+    const LockOrderInput* input;
+    const trace::SchedulingState* state;
+  };
+  std::vector<Fold> folds;
+  for (std::size_t i = 0; i < monitors.size(); ++i) {
+    for (const trace::SchedulingState* state : monitors[i].states) {
+      if (state == nullptr) {
+        throw std::invalid_argument("validate_lock_order: null state");
+      }
+      folds.push_back({state->captured_at,
+                       static_cast<OrderMonitorId>(i + 1), &monitors[i],
+                       state});
+    }
+  }
+  std::stable_sort(folds.begin(), folds.end(),
+                   [](const Fold& a, const Fold& b) { return a.at < b.at; });
+  LockOrderGraph graph;
+  for (const Fold& fold : folds) {
+    graph.observe(fold.monitor, fold.input->name, 0, *fold.state);
+  }
+  std::vector<FaultReport> reports;
+  for (const OrderCycle& cycle : graph.find_cycles()) {
+    reports.push_back(make_order_report(cycle, final_time));
   }
   return reports;
 }

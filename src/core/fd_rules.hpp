@@ -47,4 +47,19 @@ struct WaitForInput {
 std::vector<FaultReport> validate_wait_for(
     const std::vector<WaitForInput>& monitors, util::TimeNs final_time);
 
+/// One monitor's recorded checkpoint sequence for the LO-Rule below.
+struct LockOrderInput {
+  std::string name;  ///< Monitor name, used in the cycle diagnostic.
+  std::vector<const trace::SchedulingState*> states;  ///< Time-ordered.
+};
+
+/// LO-Rule (lock-order prediction over recorded histories): replay every
+/// monitor's checkpoint states — interleaved by capture time, exactly as
+/// the pool's checks fed the live relation — through a core::LockOrderGraph
+/// and report a kLockOrderCycle / kPotentialDeadlock warning per
+/// acquisition-order cycle.  The offline counterpart of the CheckerPool's
+/// prediction checkpoint.
+std::vector<FaultReport> validate_lock_order(
+    const std::vector<LockOrderInput>& monitors, util::TimeNs final_time);
+
 }  // namespace robmon::core

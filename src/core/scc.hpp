@@ -1,0 +1,65 @@
+// Tarjan strongly-connected components, shared by the pool-level graph
+// analyses (core/waitfor.cpp over the thread-level wait-for graph,
+// core/lockorder.cpp over the monitor-order graph).  Header-only template:
+// the two call sites differ only in node type and adjacency shape.
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace robmon::core {
+
+/// Strongly-connected components of the directed graph spanned by `roots`
+/// and everything reachable from them.  `neighbors_of(node)` returns an
+/// iterable of successor nodes (unknown nodes must yield an empty range).
+/// Deterministic: DFS order follows `roots` and each node's neighbor
+/// order, so callers get stable components for stable inputs.
+template <typename Node, typename NeighborsFn>
+std::vector<std::vector<Node>> strongly_connected_components(
+    const std::vector<Node>& roots, NeighborsFn&& neighbors_of) {
+  struct State {
+    std::map<Node, int> index;
+    std::map<Node, int> lowlink;
+    std::map<Node, bool> on_stack;
+    std::vector<Node> stack;
+    int next_index = 0;
+    std::vector<std::vector<Node>> components;
+  } state;
+
+  struct Visitor {
+    State& s;
+    NeighborsFn& neighbors_of;
+    void visit(const Node& v) {
+      s.index[v] = s.lowlink[v] = s.next_index++;
+      s.stack.push_back(v);
+      s.on_stack[v] = true;
+      for (const Node& w : neighbors_of(v)) {
+        if (s.index.find(w) == s.index.end()) {
+          visit(w);
+          s.lowlink[v] = std::min(s.lowlink[v], s.lowlink[w]);
+        } else if (s.on_stack[w]) {
+          s.lowlink[v] = std::min(s.lowlink[v], s.index[w]);
+        }
+      }
+      if (s.lowlink[v] == s.index[v]) {
+        std::vector<Node> component;
+        Node w;
+        do {
+          w = s.stack.back();
+          s.stack.pop_back();
+          s.on_stack[w] = false;
+          component.push_back(w);
+        } while (w != v);
+        s.components.push_back(std::move(component));
+      }
+    }
+  } visitor{state, neighbors_of};
+
+  for (const Node& root : roots) {
+    if (state.index.find(root) == state.index.end()) visitor.visit(root);
+  }
+  return state.components;
+}
+
+}  // namespace robmon::core

@@ -4,6 +4,8 @@
 #include <map>
 #include <sstream>
 
+#include "core/scc.hpp"
+
 namespace robmon::core {
 
 WaitContribution make_wait_contribution(WaitMonitorId monitor,
@@ -197,45 +199,6 @@ ThreadGraph build_thread_graph(
   return graph;
 }
 
-/// Tarjan strongly-connected components over the thread graph.
-struct SccState {
-  std::map<trace::Pid, int> index;
-  std::map<trace::Pid, int> lowlink;
-  std::map<trace::Pid, bool> on_stack;
-  std::vector<trace::Pid> stack;
-  int next_index = 0;
-  std::vector<std::vector<trace::Pid>> components;
-};
-
-void tarjan_visit(const ThreadGraph& graph, trace::Pid v, SccState& state) {
-  state.index[v] = state.lowlink[v] = state.next_index++;
-  state.stack.push_back(v);
-  state.on_stack[v] = true;
-  const auto it = graph.adjacency.find(v);
-  if (it != graph.adjacency.end()) {
-    for (const auto& link : it->second) {
-      const trace::Pid w = link.holder;
-      if (state.index.find(w) == state.index.end()) {
-        tarjan_visit(graph, w, state);
-        state.lowlink[v] = std::min(state.lowlink[v], state.lowlink[w]);
-      } else if (state.on_stack[w]) {
-        state.lowlink[v] = std::min(state.lowlink[v], state.index[w]);
-      }
-    }
-  }
-  if (state.lowlink[v] == state.index[v]) {
-    std::vector<trace::Pid> component;
-    trace::Pid w;
-    do {
-      w = state.stack.back();
-      state.stack.pop_back();
-      state.on_stack[w] = false;
-      component.push_back(w);
-    } while (w != v);
-    state.components.push_back(std::move(component));
-  }
-}
-
 /// Rotate so the smallest (pid, monitor) link comes first.
 void canonicalize(DeadlockCycle& cycle) {
   if (cycle.links.empty()) return;
@@ -255,15 +218,22 @@ void canonicalize(DeadlockCycle& cycle) {
 std::vector<DeadlockCycle> WaitForGraph::find_cycles() const {
   const ThreadGraph graph = build_thread_graph(contributions_);
 
-  SccState scc;
-  for (const auto& [pid, links] : graph.adjacency) {
-    if (scc.index.find(pid) == scc.index.end()) {
-      tarjan_visit(graph, pid, scc);
-    }
-  }
+  std::vector<trace::Pid> roots;
+  roots.reserve(graph.adjacency.size());
+  for (const auto& [pid, links] : graph.adjacency) roots.push_back(pid);
+  const auto components = strongly_connected_components(
+      roots, [&graph](trace::Pid v) {
+        std::vector<trace::Pid> out;
+        const auto it = graph.adjacency.find(v);
+        if (it != graph.adjacency.end()) {
+          out.reserve(it->second.size());
+          for (const auto& link : it->second) out.push_back(link.holder);
+        }
+        return out;
+      });
 
   std::vector<DeadlockCycle> cycles;
-  for (const auto& component : scc.components) {
+  for (const auto& component : components) {
     std::map<trace::Pid, bool> in_component;
     for (const trace::Pid pid : component) in_component[pid] = true;
 

@@ -46,10 +46,20 @@ CheckerPool::CheckerPool(Options options)
                           ? std::max(options.waitfor_checkpoint_period,
                                      kMinPeriodNs)
                           : 0),
-      waitfor_sink_(options.waitfor_sink) {
+      waitfor_sink_(options.waitfor_sink),
+      lockorder_period_(options.lockorder_checkpoint_period > 0
+                            ? std::max(options.lockorder_checkpoint_period,
+                                       kMinPeriodNs)
+                            : 0),
+      lockorder_sink_(options.lockorder_sink) {
   if (waitfor_period_ > 0 && waitfor_sink_ == nullptr) {
     throw std::invalid_argument(
         "CheckerPool: waitfor_checkpoint_period set without a waitfor_sink");
+  }
+  if (lockorder_period_ > 0 && lockorder_sink_ == nullptr) {
+    throw std::invalid_argument(
+        "CheckerPool: lockorder_checkpoint_period set without a "
+        "lockorder_sink");
   }
 }
 
@@ -129,6 +139,10 @@ void CheckerPool::schedule(MonitorId id) {
     heap_.push({wall_now() + waitfor_period_, kCheckpointId, 0});
     checkpoint_scheduled_ = true;
   }
+  if (lockorder_enabled() && !lockorder_scheduled_) {
+    heap_.push({wall_now() + lockorder_period_, kLockOrderId, 0});
+    lockorder_scheduled_ = true;
+  }
   ensure_workers_locked();
   work_cv_.notify_all();
 }
@@ -159,8 +173,20 @@ void CheckerPool::remove(MonitorId id) {
   entries_.erase(it);  // stale heap items are discarded by the workers
   // No check of this monitor is in flight or can start (busy drained above),
   // so nothing can re-contribute this id's edges after the erase.
-  std::lock_guard<std::mutex> graph_lock(graph_mu_);
-  graph_.erase(id);
+  {
+    std::lock_guard<std::mutex> graph_lock(graph_mu_);
+    graph_.erase(id);
+  }
+  // Drop the monitor's order edges with it, and re-arm any warned cycle it
+  // participated in: a cycle through an unregistered monitor no longer
+  // exists, and if an equivalent one re-forms after a re-register it must
+  // be warned about again.
+  std::lock_guard<std::mutex> order_lock(lockorder_mu_);
+  order_graph_.erase(id);
+  std::erase_if(reported_order_cycles_, [id](const auto& reported) {
+    const auto& monitors = reported.second;
+    return std::find(monitors.begin(), monitors.end(), id) != monitors.end();
+  });
 }
 
 core::Detector::CheckStats CheckerPool::check_now(MonitorId id) {
@@ -286,6 +312,9 @@ core::Detector::CheckStats CheckerPool::run_check(Entry& entry,
   if (waitfor_enabled() && entry.options.contribute_wait_edges) {
     contribute_wait_edges(entry, *state);
   }
+  if (lockorder_enabled() && entry.options.contribute_lock_order) {
+    contribute_lock_order(entry, *state);
+  }
   if (entry.options.on_checkpoint) entry.options.on_checkpoint(*state);
   return stats;
 }
@@ -358,6 +387,16 @@ void CheckerPool::contribute_wait_edges(const Entry& entry,
   std::lock_guard<std::mutex> lock(graph_mu_);
   contribution.epoch = graph_epoch_;
   graph_.update(std::move(contribution));
+}
+
+void CheckerPool::contribute_lock_order(const Entry& entry,
+                                        const trace::SchedulingState& state) {
+  // observe() joins this snapshot against every other monitor's current
+  // accesses, so the whole fold runs under the order-graph lock.  The
+  // access sets are one snapshot deep per monitor, keeping the join small.
+  std::lock_guard<std::mutex> lock(lockorder_mu_);
+  order_graph_.observe(entry.id, entry.monitor->spec().name,
+                       lockorder_epoch_, state);
 }
 
 bool CheckerPool::validate_cycle(const core::DeadlockCycle& cycle) {
@@ -461,25 +500,74 @@ std::size_t CheckerPool::waitfor_graph_monitors() const {
   return graph_.monitor_count();
 }
 
+std::size_t CheckerPool::run_lockorder_checkpoint() {
+  if (!lockorder_enabled()) return 0;
+  // Order cycles are accumulated historical facts — no live validation
+  // pass, and no cross-pass race to serialize: the reported-set insert
+  // under the graph lock makes concurrent passes agree on who reports.
+  std::vector<core::OrderCycle> fresh;
+  std::size_t present = 0;
+  {
+    std::lock_guard<std::mutex> lock(lockorder_mu_);
+    ++lockorder_epoch_;
+    for (core::OrderCycle& cycle : order_graph_.find_cycles()) {
+      ++present;
+      auto [it, inserted] =
+          reported_order_cycles_.emplace(cycle.key(), cycle.monitors());
+      if (inserted) fresh.push_back(std::move(cycle));
+    }
+  }
+  lockorder_checkpoints_.fetch_add(1, std::memory_order_relaxed);
+  for (const core::OrderCycle& cycle : fresh) {
+    potential_deadlocks_reported_.fetch_add(1, std::memory_order_relaxed);
+    lockorder_sink_->report(
+        core::make_order_report(cycle, clock_->now_ns()));
+  }
+  return present;
+}
+
+std::uint64_t CheckerPool::lockorder_epoch() const {
+  std::lock_guard<std::mutex> lock(lockorder_mu_);
+  return lockorder_epoch_;
+}
+
+std::size_t CheckerPool::lockorder_edge_count() const {
+  std::lock_guard<std::mutex> lock(lockorder_mu_);
+  return order_graph_.edge_count();
+}
+
+std::vector<core::OrderEdge> CheckerPool::lockorder_edges() const {
+  std::lock_guard<std::mutex> lock(lockorder_mu_);
+  return order_graph_.edges();
+}
+
 void CheckerPool::run_checkpoint_item_locked(
-    std::unique_lock<std::mutex>& lock) {
+    std::unique_lock<std::mutex>& lock, MonitorId id) {
   heap_.pop();  // this worker owns the pass; re-pushed when done
   dispatches_.fetch_add(1, std::memory_order_relaxed);
   lock.unlock();
-  run_waitfor_checkpoint();
+  if (id == kCheckpointId) {
+    run_waitfor_checkpoint();
+  } else {
+    run_lockorder_checkpoint();
+  }
   lock.lock();
   const bool any_scheduled =
       std::any_of(entries_.begin(), entries_.end(), [](const auto& kv) {
         return kv.second->scheduled;
       });
+  bool& armed =
+      id == kCheckpointId ? checkpoint_scheduled_ : lockorder_scheduled_;
   if (!any_scheduled) {
-    // Nothing is being checked, so nothing refreshes the graph
-    // (unschedule also withdrew the contributions); schedule() re-arms
-    // on the next scheduling instead of waking a worker every period
-    // for an empty graph.
-    checkpoint_scheduled_ = false;
+    // Nothing is being checked, so nothing refreshes the graphs
+    // (unschedule also withdrew the wait-for contributions); schedule()
+    // re-arms on the next scheduling instead of waking a worker every
+    // period for an idle pool.
+    armed = false;
   } else {
-    heap_.push({wall_now() + waitfor_period_, kCheckpointId, 0});
+    const util::TimeNs period =
+        id == kCheckpointId ? waitfor_period_ : lockorder_period_;
+    heap_.push({wall_now() + period, id, 0});
     work_cv_.notify_one();
   }
 }
@@ -498,8 +586,8 @@ void CheckerPool::worker_loop() {
       work_cv_.wait_for(lock, std::chrono::nanoseconds(top.due - now));
       continue;
     }
-    if (top.id == kCheckpointId) {
-      run_checkpoint_item_locked(lock);
+    if (top.id < kFirstMonitorId) {
+      run_checkpoint_item_locked(lock, top.id);
       continue;
     }
 
@@ -518,7 +606,7 @@ void CheckerPool::worker_loop() {
     util::TimeNs window = batch_window_;
     while (!heap_.empty() && batch.size() < batch_cap) {
       const HeapItem item = heap_.top();
-      if (item.id == kCheckpointId) break;  // has its own dispatch
+      if (item.id < kFirstMonitorId) break;  // checkpoints dispatch alone
       auto it = entries_.find(item.id);
       if (it == entries_.end() || it->second->generation != item.generation ||
           !it->second->scheduled) {

@@ -66,6 +66,20 @@
 // (HoareMonitor::next_ticket_), so the zero-false-positive guarantee is
 // clock-independent — it holds even under a frozen ManualClock.  A
 // confirmed cycle is reported once and re-armed if it ever dissolves.
+//
+// Lock-order prediction (Options::lockorder_checkpoint_period): a second
+// epoch-versioned pool-level checkpoint, on its own reserved heap item,
+// accumulates the (monitor -> monitor) acquisition-order relation — fed
+// from the same per-check snapshots (SchedulingState.holders plus each
+// thread's queued acquisitions) via core::LockOrderGraph — and runs SCC
+// cycle detection over the *order* graph.  A cycle there means monitors
+// are taken in inconsistent orders even though no real wait cycle ever
+// closed; it is reported once as a kPotentialDeadlock warning naming the
+// exact monitor cycle and the witnessing thread/episode-ticket pairs.
+// Unlike wait-for candidates, order cycles are historical facts, so there
+// is no live-validation pass; soundness comes from the certified-interval
+// join (see core/lockorder.hpp).  Unscheduling keeps a monitor's recorded
+// order edges (the warning stays valid); unregistering erases them.
 #pragma once
 
 #include <atomic>
@@ -81,6 +95,7 @@
 #include <vector>
 
 #include "core/detector.hpp"
+#include "core/lockorder.hpp"
 #include "core/waitfor.hpp"
 #include "runtime/hoare_monitor.hpp"
 
@@ -123,6 +138,12 @@ class CheckerPool {
     /// Destination for GlobalDeadlock faults; required when the checkpoint
     /// is enabled.
     core::ReportSink* waitfor_sink = nullptr;
+    /// Cadence of the pool-level lock-order prediction checkpoint
+    /// (wall-clock).  0 disables lock-order prediction.
+    util::TimeNs lockorder_checkpoint_period = 0;
+    /// Destination for PotentialDeadlock warnings; required when the
+    /// prediction checkpoint is enabled.
+    core::ReportSink* lockorder_sink = nullptr;
   };
 
   /// Per-monitor policy — the knobs PeriodicChecker::Options exposed.
@@ -133,6 +154,9 @@ class CheckerPool {
     /// Fold this monitor's snapshots into the pool-level wait-for graph
     /// (no-op unless Options::waitfor_checkpoint_period is set).
     bool contribute_wait_edges = true;
+    /// Fold this monitor's snapshots into the pool-level acquisition-order
+    /// relation (no-op unless Options::lockorder_checkpoint_period is set).
+    bool contribute_lock_order = true;
     /// Adaptive cadence ceiling: while the monitor is idle (no drained
     /// events, nobody running or queued), its effective check period
     /// stretches up to check_period × max_stretch.  1.0 = fixed cadence.
@@ -185,6 +209,13 @@ class CheckerPool {
   /// cycles confirmed in this pass (reported ones plus already-known ones).
   /// No-op returning 0 when the checkpoint is disabled.
   std::size_t run_waitfor_checkpoint();
+
+  /// One synchronous lock-order prediction pass on the caller's thread:
+  /// SCC cycle detection over the accumulated order relation, reporting of
+  /// newly seen cycles as kPotentialDeadlock.  Returns the number of
+  /// plausible cycles present (reported plus already-reported).  No-op
+  /// returning 0 when prediction is disabled.
+  std::size_t run_lockorder_checkpoint();
 
   // --- Introspection (bench/check_overhead, bench/pool_scaling, tests). -----
 
@@ -243,9 +274,27 @@ class CheckerPool {
   /// Monitors currently contributing edges to the wait-for graph.
   std::size_t waitfor_graph_monitors() const;
 
+  /// Lock-order prediction passes executed (periodic + synchronous).
+  std::uint64_t lockorder_checkpoints() const {
+    return lockorder_checkpoints_.load(std::memory_order_relaxed);
+  }
+  /// PotentialDeadlock warnings delivered to the lockorder sink.
+  std::uint64_t potential_deadlocks_reported() const {
+    return potential_deadlocks_reported_.load(std::memory_order_relaxed);
+  }
+  /// Current prediction epoch (bumped at the start of every pass).
+  std::uint64_t lockorder_epoch() const;
+  /// Distinct (from, to) pairs in the accumulated order relation.
+  std::size_t lockorder_edge_count() const;
+  /// Flattened copy of the order relation (trace export, diagnostics).
+  std::vector<core::OrderEdge> lockorder_edges() const;
+
  private:
-  /// Reserved heap id for the pool-level wait-for checkpoint item.
+  /// Reserved heap ids for the pool-level checkpoint items; real monitors
+  /// start at kFirstMonitorId.
   static constexpr MonitorId kCheckpointId = 0;
+  static constexpr MonitorId kLockOrderId = 1;
+  static constexpr MonitorId kFirstMonitorId = 2;
 
   struct Entry {
     MonitorId id = 0;
@@ -297,15 +346,22 @@ class CheckerPool {
   /// applying the backlog policy.  mu_ held.
   util::TimeNs next_due_locked(Entry& entry, util::TimeNs due,
                                util::TimeNs finished);
-  /// Handle a due checkpoint heap item.  Lock held on entry and exit;
-  /// released around the pass itself.
-  void run_checkpoint_item_locked(std::unique_lock<std::mutex>& lock);
+  /// Handle a due pool-level checkpoint heap item (`id` names which of the
+  /// two).  Lock held on entry and exit; released around the pass itself.
+  void run_checkpoint_item_locked(std::unique_lock<std::mutex>& lock,
+                                  MonitorId id);
 
   bool waitfor_enabled() const {
     return waitfor_period_ > 0 && waitfor_sink_ != nullptr;
   }
+  bool lockorder_enabled() const {
+    return lockorder_period_ > 0 && lockorder_sink_ != nullptr;
+  }
   /// Fold `state` into the wait-for graph as `entry`'s current edge set.
   void contribute_wait_edges(const Entry& entry,
+                             const trace::SchedulingState& state);
+  /// Fold `state` into the acquisition-order relation.
+  void contribute_lock_order(const Entry& entry,
                              const trace::SchedulingState& state);
   /// Live validation: re-snapshot the cycle's monitors and require every
   /// link to still hold (same blocking episode, same hold episode).
@@ -319,6 +375,8 @@ class CheckerPool {
   std::size_t max_backlog_ = 4;
   util::TimeNs waitfor_period_ = 0;
   core::ReportSink* waitfor_sink_ = nullptr;
+  util::TimeNs lockorder_period_ = 0;
+  core::ReportSink* lockorder_sink_ = nullptr;
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;   ///< Heap / stop changes.
@@ -326,9 +384,10 @@ class CheckerPool {
   std::unordered_map<MonitorId, std::unique_ptr<Entry>> entries_;
   std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap_;
   std::vector<std::thread> workers_;
-  MonitorId next_id_ = 1;  ///< 0 is kCheckpointId; real monitors start at 1.
+  MonitorId next_id_ = kFirstMonitorId;  ///< 0/1 are reserved checkpoints.
   bool stop_ = false;
-  bool checkpoint_scheduled_ = false;  ///< Checkpoint item lives on the heap.
+  bool checkpoint_scheduled_ = false;  ///< WF checkpoint item on the heap.
+  bool lockorder_scheduled_ = false;   ///< LO checkpoint item on the heap.
 
   /// Wait-for state.  Lock order: checkpoint_pass_mu_ before mu_ before
   /// graph_mu_, never the reverse.
@@ -348,6 +407,18 @@ class CheckerPool {
   /// reports while a deadlock persists; cleared when the cycle dissolves).
   std::unordered_set<std::string> reported_cycles_;
 
+  /// Lock-order prediction state.  Lock order: mu_ before lockorder_mu_,
+  /// never the reverse (remove() erases a monitor's edges under mu_).
+  mutable std::mutex lockorder_mu_;
+  core::LockOrderGraph order_graph_;
+  std::uint64_t lockorder_epoch_ = 0;
+  /// Order cycles already warned about, keyed by canonical cycle key and
+  /// remembering the participating monitors: the order relation never
+  /// dissolves on its own, so a warning fires once — until a participant
+  /// unregisters, which erases its edges and re-arms cycles through it.
+  std::unordered_map<std::string, std::vector<core::OrderMonitorId>>
+      reported_order_cycles_;
+
   std::atomic<std::uint64_t> checks_executed_{0};
   std::atomic<std::uint64_t> dispatches_{0};
   std::atomic<std::uint64_t> batched_checks_{0};
@@ -356,6 +427,8 @@ class CheckerPool {
   std::atomic<std::uint64_t> total_check_ns_{0};
   std::atomic<std::uint64_t> waitfor_checkpoints_{0};
   std::atomic<std::uint64_t> deadlocks_reported_{0};
+  std::atomic<std::uint64_t> lockorder_checkpoints_{0};
+  std::atomic<std::uint64_t> potential_deadlocks_reported_{0};
 };
 
 }  // namespace robmon::rt

@@ -17,6 +17,7 @@ RobustMonitor::RobustMonitor(core::MonitorSpec spec, core::ReportSink& sink,
   CheckerPool::MonitorOptions policy;
   policy.hold_gate_during_check = options_.hold_gate_during_check;
   policy.contribute_wait_edges = options_.contribute_wait_edges;
+  policy.contribute_lock_order = options_.contribute_lock_order;
   policy.max_stretch = options_.cadence_max_stretch;
   if (options_.retain_trace) {
     policy.on_checkpoint = [this](const trace::SchedulingState& s) {

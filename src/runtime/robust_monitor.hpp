@@ -62,6 +62,10 @@ class RobustMonitor {
     /// wait-for graph (only meaningful when the pool has its wait-for
     /// checkpoint enabled).
     bool contribute_wait_edges = true;
+    /// Contribute this monitor's snapshots to the pool's lock-order
+    /// prediction relation (only meaningful when the pool has its
+    /// prediction checkpoint enabled).
+    bool contribute_lock_order = true;
   };
 
   RobustMonitor(core::MonitorSpec spec, core::ReportSink& sink);

@@ -43,9 +43,10 @@ EventKind kind_from_code(char code, std::size_t line_no) {
 }  // namespace
 
 void write_trace(std::ostream& out, const TraceFile& trace) {
-  // v2 appends the episode ticket as a trailing field on state/eq/cq/hold
-  // lines; a v1 document (no tickets) still parses, with tickets = 0.
-  out << "robmon-trace v2\n";
+  // v3 adds `lord` lock-order-witness lines; v2 appends the episode ticket
+  // as a trailing field on state/eq/cq/hold lines.  Older documents (no
+  // lord lines, no tickets) still parse, with the absent data defaulted.
+  out << "robmon-trace v3\n";
   out << "monitor " << trace.monitor_name << " " << trace.monitor_type << " "
       << trace.rmax << "\n";
   for (std::size_t i = 0; i < trace.symbols.size(); ++i) {
@@ -79,6 +80,11 @@ void write_trace(std::ostream& out, const TraceFile& trace) {
     }
     out << "endstate\n";
   }
+  for (const auto& record : trace.lock_order) {
+    out << "lord " << record.from << " " << record.to << " " << record.pid
+        << " " << record.from_ticket << " " << record.to_ticket << " "
+        << (record.to_wait ? 'W' : 'H') << "\n";
+  }
 }
 
 std::string write_trace_string(const TraceFile& trace) {
@@ -100,7 +106,8 @@ TraceFile read_trace(std::istream& in) {
 
   if (!std::getline(in, line)) parse_error(1, "empty trace");
   ++line_no;
-  if (line != "robmon-trace v2" && line != "robmon-trace v1") {
+  if (line != "robmon-trace v3" && line != "robmon-trace v2" &&
+      line != "robmon-trace v1") {
     parse_error(1, "bad magic: " + line);
   }
 
@@ -181,6 +188,16 @@ TraceFile read_trace(std::istream& in) {
       if (!in_state) parse_error(line_no, "endstate outside state block");
       trace.checkpoints.push_back(current);
       in_state = false;
+    } else if (tag == "lord") {
+      LockOrderRecord record;
+      char kind = '?';
+      fields >> record.from >> record.to >> record.pid >>
+          record.from_ticket >> record.to_ticket >> kind;
+      if (fields.fail() || (kind != 'W' && kind != 'H')) {
+        parse_error(line_no, "bad lord line");
+      }
+      record.to_wait = kind == 'W';
+      trace.lock_order.push_back(std::move(record));
     } else {
       parse_error(line_no, "unknown tag: " + tag);
     }

@@ -13,6 +13,23 @@
 
 namespace robmon::trace {
 
+/// One persisted lock-order witness (robmon-trace v3 `lord` line): `pid`
+/// held monitor `from` (episode `from_ticket`) while holding or — when
+/// `to_wait` — blocked acquiring monitor `to` (episode `to_ticket`).
+/// Monitors are named, not id'd: ids are a pool-lifetime artifact, names
+/// survive replay.  The relation is pool-scoped; by convention it is
+/// attached to whichever TraceFile the recording session exports.
+struct LockOrderRecord {
+  std::string from;
+  std::string to;
+  Pid pid = kNoPid;
+  std::uint64_t from_ticket = 0;
+  std::uint64_t to_ticket = 0;
+  bool to_wait = false;
+
+  bool operator==(const LockOrderRecord&) const = default;
+};
+
 /// In-memory representation of a serialized trace.
 struct TraceFile {
   std::string monitor_name;
@@ -21,16 +38,19 @@ struct TraceFile {
   std::vector<std::string> symbols;  ///< index = SymbolId.
   std::vector<EventRecord> events;
   std::vector<SchedulingState> checkpoints;
+  /// Acquisition-order relation (v3; empty for v1/v2 documents).
+  std::vector<LockOrderRecord> lock_order;
 };
 
-/// Serialize to the robmon-trace v2 text format (v1 plus per-entry episode
-/// tickets on state/eq/cq/hold lines).
+/// Serialize to the robmon-trace v3 text format (v2 plus `lord`
+/// lock-order-witness lines; v2 itself is v1 plus per-entry episode tickets
+/// on state/eq/cq/hold lines).
 void write_trace(std::ostream& out, const TraceFile& trace);
 std::string write_trace_string(const TraceFile& trace);
 
-/// Parse a robmon-trace v1 or v2 document (v1 entries get ticket 0).
-/// Throws std::runtime_error with a line-numbered message on malformed
-/// input.
+/// Parse a robmon-trace v1, v2 or v3 document (v1 entries get ticket 0;
+/// v1/v2 documents have an empty lock-order relation).  Throws
+/// std::runtime_error with a line-numbered message on malformed input.
 TraceFile read_trace(std::istream& in);
 TraceFile read_trace_string(const std::string& text);
 

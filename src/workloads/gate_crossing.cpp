@@ -1,0 +1,143 @@
+#include "workloads/gate_crossing.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "runtime/checker_pool.hpp"
+#include "workloads/allocator.hpp"
+
+namespace robmon::wl {
+
+namespace {
+
+core::MonitorSpec lane_spec(const std::string& name,
+                            const GateCrossingOptions& options) {
+  core::MonitorSpec spec = core::MonitorSpec::allocator(name);
+  spec.t_limit = options.t_limit;
+  spec.t_max = options.t_max;
+  spec.t_io = options.t_io;
+  spec.check_period = options.check_period;
+  return spec;
+}
+
+void pause(util::TimeNs ns) {
+  if (ns > 0) std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+}
+
+}  // namespace
+
+GateCrossingResult run_gate_crossing(const GateCrossingOptions& options) {
+  const std::size_t lanes = std::max<std::size_t>(2, options.lanes);
+  const int threads = std::max(2, options.threads);
+  const int rounds = std::max(1, options.rounds);
+
+  core::CollectingSink sink;
+  rt::CheckerPool::Options pool_options;
+  pool_options.threads = options.pool_threads;
+  pool_options.waitfor_checkpoint_period = options.waitfor_checkpoint_period;
+  pool_options.waitfor_sink = &sink;
+  pool_options.lockorder_checkpoint_period =
+      options.lockorder_checkpoint_period;
+  pool_options.lockorder_sink = &sink;
+  rt::CheckerPool pool(pool_options);
+
+  std::vector<std::unique_ptr<rt::RobustMonitor>> lane_monitors;
+  std::vector<std::unique_ptr<ResourceAllocator>> lane_allocs;
+  lane_monitors.reserve(lanes);
+  lane_allocs.reserve(lanes);
+  rt::RobustMonitor::Options monitor_options;
+  monitor_options.checker_pool = &pool;
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    lane_monitors.push_back(std::make_unique<rt::RobustMonitor>(
+        lane_spec("lane-" + std::to_string(lane), options), sink,
+        monitor_options));
+    lane_allocs.push_back(
+        std::make_unique<ResourceAllocator>(*lane_monitors.back(), 1));
+    lane_monitors.back()->start_checking();
+  }
+
+  // The gate: a process-wide mutex around the whole crossing.  It is not a
+  // monitor, so the detection layer cannot see it — exactly the shape of a
+  // real codebase whose ad-hoc serialization happens to mask a lock-order
+  // bug today and disappears in next quarter's refactor.
+  std::mutex gate;
+  std::atomic<int> running{threads};
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      const trace::Pid pid = t;
+      std::vector<std::size_t> order(lanes);
+      for (std::size_t k = 0; k < lanes; ++k) {
+        order[k] = options.consistent_order
+                       ? k
+                       : (static_cast<std::size_t>(t) + k) % lanes;
+      }
+      for (int round = 0; round < rounds; ++round) {
+        std::lock_guard<std::mutex> crossing(gate);
+        std::size_t taken = 0;
+        for (; taken < lanes; ++taken) {
+          if (lane_allocs[order[taken]]->acquire(pid) != rt::Status::kOk) {
+            break;  // poisoned: release what we hold and bail
+          }
+          pause(options.step_ns);
+        }
+        if (taken == lanes) pause(options.dwell_ns);
+        for (std::size_t k = taken; k > 0; --k) {
+          (void)lane_allocs[order[k - 1]]->release(pid);
+        }
+        if (taken < lanes) break;
+        pause(options.think_ns);
+      }
+      running.fetch_sub(1, std::memory_order_acq_rel);
+    });
+  }
+
+  // Observation loop: synchronous checks of every lane at sub-dwell
+  // cadence make the multi-lane holds certainly snapshotted (the periodic
+  // cadence alone would make detection probabilistic on slow CI runners).
+  const util::TimeNs poll_ns =
+      std::max<util::TimeNs>(options.dwell_ns / 4, 250'000);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::nanoseconds(options.run_timeout);
+  while (running.load(std::memory_order_acquire) > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    for (auto& monitor : lane_monitors) monitor->check_now();
+    pause(poll_ns);
+  }
+  const bool completed = running.load(std::memory_order_acquire) == 0;
+  if (!completed) {
+    for (auto& monitor : lane_monitors) monitor->poison();
+  }
+  for (auto& worker : workers) worker.join();
+
+  // Closing passes: fold the final snapshots, then run both checkpoints
+  // once more so the verdicts do not depend on periodic timing.
+  for (auto& monitor : lane_monitors) monitor->check_now();
+  pool.run_lockorder_checkpoint();
+  pool.run_waitfor_checkpoint();
+  for (auto& monitor : lane_monitors) monitor->stop_checking();
+
+  GateCrossingResult result;
+  result.completed = completed;
+  result.lockorder_checkpoints = pool.lockorder_checkpoints();
+  result.edges = pool.lockorder_edges();
+  result.order_edges = result.edges.size();
+  result.reports = sink.reports();
+  result.fault_reports = result.reports.size();
+  for (const auto& report : result.reports) {
+    if (report.rule == core::RuleId::kLockOrderCycle) {
+      ++result.potential_deadlocks;
+      result.cycles.push_back(report.message);
+    }
+    if (report.rule == core::RuleId::kWfCycleDetected) {
+      ++result.global_deadlocks;
+    }
+  }
+  return result;
+}
+
+}  // namespace robmon::wl

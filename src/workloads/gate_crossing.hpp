@@ -1,0 +1,79 @@
+// Gate-crossing workload — the canonical lock-order-prediction scenario: a
+// latent deadlock that never fires.
+//
+// M one-unit allocator monitors ("lanes") are acquired by N threads in
+// *rotated* orders (thread t starts at lane t % M), so the pairwise
+// acquisition orders are inconsistent — the classic recipe for a circular
+// wait.  But the entire acquire-all / dwell / release-all region runs under
+// a process-wide gate (a plain mutex, invisible to the monitors), so at
+// most one thread ever holds any lane: the real cycle can never close, no
+// thread ever blocks on a lane, and the wait-for checkpoint must stay
+// silent.  The lock-order prediction checkpoint, fed the per-lane hold
+// snapshots, must still flag the order cycle as kPotentialDeadlock — this
+// workload exists to prove the "warns before the fault exists" contract and
+// to pin its false-positive sibling: with consistent_order set, every
+// thread takes the lanes in the same global order and NO warning of any
+// kind may appear.
+//
+// Observation is made deterministic rather than probabilistic: while the
+// worker threads run, the driver polls a synchronous check of every lane
+// monitor at sub-dwell cadence, so each multi-lane hold is certainly
+// snapshotted; a final prediction pass then closes the run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/fault.hpp"
+#include "core/lockorder.hpp"
+#include "util/clock.hpp"
+
+namespace robmon::wl {
+
+struct GateCrossingOptions {
+  std::size_t lanes = 3;   ///< M one-unit allocator monitors.
+  int threads = 3;         ///< N gate-crossing threads.
+  int rounds = 4;          ///< Crossings per thread.
+  /// Control: all threads acquire lanes in the same global order; the run
+  /// must complete with zero warnings (prediction false-positive guard).
+  bool consistent_order = false;
+  /// Pause after each lane acquisition (staggers the hold starts so the
+  /// hold-hold joins have distinct, ordered acquisition times).
+  util::TimeNs step_ns = 500'000;  // 0.5 ms
+  /// Full-hold window once every lane is taken; the driver's observation
+  /// polling runs several times per dwell.
+  util::TimeNs dwell_ns = 4 * util::kMillisecond;
+  util::TimeNs think_ns = 200'000;  // 0.2 ms between rounds
+  /// Generous per-monitor timers: no ST-5/6/8c timeout verdicts here.
+  util::TimeNs t_limit = 30 * util::kSecond;
+  util::TimeNs t_max = 30 * util::kSecond;
+  util::TimeNs t_io = 30 * util::kSecond;
+  util::TimeNs check_period = 2 * util::kMillisecond;
+  /// Pool-level checkpoint cadences (both run; the wait-for side proves
+  /// the zero-global-deadlock half of the contract).
+  util::TimeNs lockorder_checkpoint_period = 5 * util::kMillisecond;
+  util::TimeNs waitfor_checkpoint_period = 5 * util::kMillisecond;
+  std::size_t pool_threads = 0;  ///< K for the shared pool; 0 = auto.
+  util::TimeNs run_timeout = 30 * util::kSecond;
+};
+
+struct GateCrossingResult {
+  bool completed = false;  ///< Every thread finished every round.
+  /// kLockOrderCycle warnings (>= 1 expected with inconsistent orders,
+  /// exactly 0 with consistent_order).
+  std::size_t potential_deadlocks = 0;
+  /// kWfCycleDetected reports (must be 0: the gate prevents every real
+  /// cycle, so any report is a false positive).
+  std::size_t global_deadlocks = 0;
+  std::vector<std::string> cycles;  ///< Warning messages.
+  std::uint64_t lockorder_checkpoints = 0;
+  std::size_t order_edges = 0;  ///< Distinct (from, to) pairs recorded.
+  std::vector<core::OrderEdge> edges;  ///< The relation (trace export).
+  std::size_t fault_reports = 0;
+  std::vector<core::FaultReport> reports;
+};
+
+GateCrossingResult run_gate_crossing(const GateCrossingOptions& options);
+
+}  // namespace robmon::wl

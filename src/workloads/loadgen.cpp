@@ -177,10 +177,18 @@ MultiLoadResult run_multi_load(const MultiLoadOptions& options) {
   // Detection engines.  Both modes run through CheckerPool so the scheduling
   // counters are comparable: the old architecture is M pools of one thread,
   // the new one is a single pool of K ≤ hardware-concurrency threads.
+  // Pool-scoped prediction sink (must stay empty).  Declared before the
+  // engines: workers hold a pointer to it, so it must outlive them.
+  core::CollectingSink lockorder_sink;
   std::vector<std::unique_ptr<rt::CheckerPool>> engines;
   rt::CheckerPool::Options pool_options;
   pool_options.max_batch = options.max_batch;
   pool_options.batch_window = options.batch_window;
+  if (options.lockorder_checkpoint_period > 0) {
+    pool_options.lockorder_checkpoint_period =
+        options.lockorder_checkpoint_period;
+    pool_options.lockorder_sink = &lockorder_sink;
+  }
   if (options.mode == CheckerMode::kSharedPool) {
     pool_options.threads = options.pool_threads;
     engines.push_back(std::make_unique<rt::CheckerPool>(pool_options));
@@ -254,15 +262,19 @@ MultiLoadResult run_multi_load(const MultiLoadOptions& options) {
   // checking point) or a release-before-acquire client (III.a, caught by
   // the real-time phase and confirmed by Algorithm-3).
   for (std::size_t i = 0; i < faulty; ++i) {
+    // Injector pids are globally unique (like the client pids below): the
+    // lock-order join matches accesses by pid across monitors, so a pid
+    // shared by threads on different monitors would fabricate order edges.
+    const trace::Pid inject_pid = 9000 + static_cast<trace::Pid>(i);
     if (is_coordinator(i)) {
       std::int64_t item = 0;
-      buffers[i]->receive(/*pid=*/999, &item);
+      buffers[i]->receive(inject_pid, &item);
     } else {
       inject::ScriptedInjection release_early(
           {core::FaultKind::kReleaseBeforeAcquire, trace::kNoPid, 1, false});
       ClientOptions client;
       client.iterations = 1;
-      run_allocator_client(*allocators[i], /*pid=*/999, release_early,
+      run_allocator_client(*allocators[i], inject_pid, release_early,
                            client);
     }
   }
@@ -275,7 +287,8 @@ MultiLoadResult run_multi_load(const MultiLoadOptions& options) {
   const auto started = std::chrono::steady_clock::now();
   for (std::size_t i = 0; i < monitor_count; ++i) {
     for (int t = 0; t < threads_per_monitor; ++t) {
-      const trace::Pid pid = 100 + t;
+      const trace::Pid pid =
+          100 + static_cast<trace::Pid>(i) * threads_per_monitor + t;
       if (is_coordinator(i)) {
         BoundedBuffer* buffer = buffers[i].get();
         threads.emplace_back([buffer, pid, pairs] {
@@ -352,6 +365,12 @@ MultiLoadResult run_multi_load(const MultiLoadOptions& options) {
     result.avg_batch = static_cast<double>(engine_checks) /
                        static_cast<double>(result.dispatches);
   }
+
+  for (const auto& engine : engines) {
+    result.lockorder_checkpoints += engine->lockorder_checkpoints();
+    result.lockorder_edges += engine->lockorder_edge_count();
+  }
+  result.potential_deadlocks = lockorder_sink.count();
 
   result.faults_expected = faulty;
   for (std::size_t i = 0; i < monitor_count; ++i) {

@@ -78,6 +78,12 @@ struct MultiLoadOptions {
   util::TimeNs batch_window = -1;  ///< -1 = auto (one period quantum).
   /// Adaptive cadence ceiling per monitor (1.0 = fixed cadence).
   double max_stretch = 1.0;
+  /// Lock-order prediction checkpoint cadence (0 = prediction off).  Every
+  /// client here touches exactly one monitor, so a correct predictor
+  /// records no cross-monitor edges and zero kPotentialDeadlock warnings —
+  /// the bench "predict" shape measures the pure per-check fold overhead
+  /// and gates on that zero.
+  util::TimeNs lockorder_checkpoint_period = 0;
 };
 
 struct MultiLoadResult {
@@ -99,6 +105,11 @@ struct MultiLoadResult {
   std::size_t faulty_detected = 0;    ///< Faulty monitors with ≥1 report.
   std::size_t missed_detections = 0;  ///< Faulty monitors with no report.
   std::size_t false_positive_monitors = 0;  ///< Clean monitors with reports.
+  std::uint64_t lockorder_checkpoints = 0;  ///< Prediction passes run.
+  std::size_t lockorder_edges = 0;          ///< Order edges recorded.
+  /// kPotentialDeadlock warnings — a false positive here (must be 0: no
+  /// client spans monitors).
+  std::size_t potential_deadlocks = 0;
 };
 
 /// Drive M monitors concurrently and account detection per monitor.

@@ -314,10 +314,13 @@ TEST(MultiLoadBatchingTest, BatchedAndAdaptiveEnginesMissNoInjectedFault) {
     EXPECT_GT(result.checks_run, 0u);
     if (shape.max_batch == 1 && result.dispatches > 0) {
       // Per-item: one dispatch per periodic check; only the final
-      // synchronous per-monitor checks lift the ratio above 1.
+      // synchronous per-monitor checks lift the ratio above 1.  The slack
+      // absorbs the one-ULP rounding gap between (d + M) / d and
+      // 1 + M / d when the counts land exactly on the bound.
       EXPECT_LE(result.avg_batch,
                 1.0 + static_cast<double>(options.monitors) /
-                          static_cast<double>(result.dispatches));
+                          static_cast<double>(result.dispatches) +
+                    1e-9);
     }
   }
 }
