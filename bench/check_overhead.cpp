@@ -11,6 +11,11 @@
 //             injected faults; reports per-check time, dispatches (worker
 //             wake-ups) per 1k checks, batch sizes, coalesced deadlines,
 //             and the detection scorecard.
+//   recovery  wl::run_dining_load with a deterministically deadlocking
+//             ring under each recovery remedy (poison / fault / order);
+//             reports the detection-to-action latency and enforces the
+//             liveness contract (completion, exactly one action, zero
+//             false positives).
 //
 // Emits --out (default BENCH_check_overhead.json); exits non-zero if any
 // injected fault is missed or any clean monitor reports one, so CI can use
@@ -27,6 +32,7 @@
 
 #include "trace/event_log.hpp"
 #include "util/flags.hpp"
+#include "workloads/dining.hpp"
 #include "workloads/loadgen.hpp"
 
 using namespace robmon;
@@ -222,6 +228,45 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- Recovery latency: deadlock-closed (or prediction-ready) to first
+  // recovery action, per remedy, on a deterministically deadlocking ring.
+  struct RecoveryRow {
+    const char* mode;
+    wl::DiningLoadResult result;
+    bool ok = false;
+  };
+  const std::pair<const char*, wl::DiningRecovery> remedies[] = {
+      {"poison", wl::DiningRecovery::kPoisonVictim},
+      {"fault", wl::DiningRecovery::kDeliverFault},
+      {"order", wl::DiningRecovery::kImposeOrder},
+  };
+  std::vector<RecoveryRow> recovery_rows;
+  bool recovery_failed = false;
+  std::printf("\n%8s %12s %9s %10s %10s\n", "recovery", "latency-ms",
+              "actions", "completed", "unpoison");
+  for (const auto& [name, remedy] : remedies) {
+    wl::DiningLoadOptions options;
+    options.rings = 1;
+    options.philosophers = 4;
+    options.deadlock_rings = 1;
+    options.recovery = remedy;
+    options.run_timeout = 20 * util::kSecond;
+    RecoveryRow row{name, wl::run_dining_load(options), false};
+    row.ok = row.result.recovered_rings_completed &&
+             row.result.recovery_actions == 1 &&
+             row.result.false_positive_rings == 0 &&
+             row.result.missed_detections == 0;
+    std::printf("%8s %12.2f %9llu %10s %10llu%s\n", row.mode,
+                static_cast<double>(row.result.recovery_latency_ns) / 1e6,
+                static_cast<unsigned long long>(row.result.recovery_actions),
+                row.result.recovered_rings_completed ? "yes" : "NO",
+                static_cast<unsigned long long>(
+                    row.result.monitors_unpoisoned),
+                row.ok ? "" : "  ^ FAILED");
+    if (!row.ok) recovery_failed = true;
+    recovery_rows.push_back(std::move(row));
+  }
+
   // --- Machine-readable artifact. --------------------------------------------
   std::size_t missed_total = 0, false_positive_total = 0;
   std::size_t potential_total = 0;
@@ -292,11 +337,26 @@ int main(int argc, char** argv) {
         r.potential_deadlocks, i + 1 < pool_rows.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"recovery\": [\n");
+  for (std::size_t i = 0; i < recovery_rows.size(); ++i) {
+    const RecoveryRow& row = recovery_rows[i];
+    std::fprintf(out,
+                 "    {\"mode\": \"%s\", \"latency_ms\": %.2f, "
+                 "\"actions\": %llu, \"completed\": %s}%s\n",
+                 row.mode,
+                 static_cast<double>(row.result.recovery_latency_ns) / 1e6,
+                 static_cast<unsigned long long>(row.result.recovery_actions),
+                 row.result.recovered_rings_completed ? "true" : "false",
+                 i + 1 < recovery_rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
   std::fprintf(out, "  \"summary\": {\n");
   std::fprintf(out, "    \"missed_detections\": %zu,\n", missed_total);
   std::fprintf(out, "    \"false_positive_monitors\": %zu,\n",
                false_positive_total);
   std::fprintf(out, "    \"potential_deadlocks\": %zu,\n", potential_total);
+  std::fprintf(out, "    \"recovery_failures\": %zu,\n",
+               static_cast<std::size_t>(recovery_failed ? 1 : 0));
   std::fprintf(out, "    \"max_per_check_ns\": %.0f\n", max_per_check_ns);
   std::fprintf(out, "  }\n");
   std::fprintf(out, "}\n");
@@ -305,6 +365,10 @@ int main(int argc, char** argv) {
 
   if (detection_failed) {
     std::printf("check_overhead: detection FAILURES above\n");
+    return 1;
+  }
+  if (recovery_failed) {
+    std::printf("check_overhead: recovery contract FAILURES above\n");
     return 1;
   }
   std::printf("check_overhead: zero missed detections in every shape\n");

@@ -11,6 +11,13 @@
 //   gate      wl::run_gate_crossing both ways: the rotated order must be
 //             warned about (kPotentialDeadlock >= 1, kGlobalDeadlock == 0),
 //             the consistent control must stay silent.
+//   recovery  (--recovery=true, the nightly matrix's recovery mode)
+//             wl::run_dining_load with a deterministically deadlocking ring
+//             under each remedy — poison-victim, deliver-fault,
+//             impose-order — plus the consistent-order gate-crossing
+//             control with recovery attached: every deadlocked ring must
+//             COMPLETE with exactly one recovery action, the control must
+//             draw zero actions, and clean rings must never be touched.
 //
 // Exits non-zero on any scorecard failure, so the nightly job needs no
 // output parsing; under TSan, a data race aborts the binary (halt_on_error)
@@ -52,12 +59,16 @@ int main(int argc, char** argv) {
   flags.define("monitors", "12", "monitors per multi-load iteration");
   flags.define("ops-per-thread", "120", "multi-load calls per client");
   flags.define("rings", "2", "dining rings per iteration");
+  flags.define("recovery", "false",
+               "also soak the recovery engine (poison / fault / order "
+               "remedies + zero-action control)");
   flags.define("out", "soak_report.json", "machine-readable summary");
   if (!flags.parse(argc, argv)) return 1;
 
   const double budget = static_cast<double>(flags.i64("seconds"));
+  const bool soak_recovery = flags.boolean("recovery");
   const auto started = std::chrono::steady_clock::now();
-  Scorecard multi, dining, gate;
+  Scorecard multi, dining, gate, recovery;
 
   // Every family runs at least once, budget notwithstanding: a "soak" that
   // can pass while skipping a scenario gates nothing.
@@ -118,22 +129,70 @@ int main(int argc, char** argv) {
                               (control.completed ? 0 : 1);
     }
 
+    // --- recovery: every remedy must break (or pre-empt) the deadlock. -----
+    if (soak_recovery) {
+      for (const wl::DiningRecovery remedy :
+           {wl::DiningRecovery::kPoisonVictim,
+            wl::DiningRecovery::kDeliverFault,
+            wl::DiningRecovery::kImposeOrder}) {
+        wl::DiningLoadOptions options;
+        options.rings = static_cast<std::size_t>(flags.i64("rings"));
+        options.philosophers = 4;
+        options.deadlock_rings = 1;
+        options.rounds = 10;
+        options.recovery = remedy;
+        options.run_timeout = 20 * util::kSecond;
+        const wl::DiningLoadResult result = wl::run_dining_load(options);
+        ++recovery.iterations;
+        if (!result.recovered_rings_completed) ++recovery.missed;
+        if (!result.clean_rings_completed) ++recovery.missed;
+        recovery.missed += result.missed_detections;
+        // More than one action per cycle is an over-reaction; any report
+        // against a clean ring is a false positive — and so is ANY report
+        // outside {WF verdict, LO warning, RC action}: a recovery
+        // intervention must never surface as a per-monitor ST or
+        // call-order violation.
+        if (result.recovery_actions > 1) ++recovery.false_positives;
+        recovery.false_positives += result.false_positive_rings;
+        for (const auto& report : result.reports) {
+          if (report.rule != core::RuleId::kWfCycleDetected &&
+              report.rule != core::RuleId::kLockOrderCycle &&
+              report.rule != core::RuleId::kRecoveryAction) {
+            ++recovery.false_positives;
+          }
+        }
+      }
+      // Zero-action control: consistent order with recovery attached.
+      wl::GateCrossingOptions options;
+      options.consistent_order = true;
+      options.recovery = true;
+      const wl::GateCrossingResult control = wl::run_gate_crossing(options);
+      ++recovery.iterations;
+      if (!control.completed) ++recovery.missed;
+      recovery.false_positives +=
+          static_cast<std::uint64_t>(control.recovery_actions) +
+          control.potential_deadlocks;
+    }
+
     std::printf(
-        "soak %6.1fs: multi x%llu dining x%llu gate x%llu — "
+        "soak %6.1fs: multi x%llu dining x%llu gate x%llu recovery x%llu — "
         "missed %llu, false positives %llu\n",
         seconds_since(started),
         static_cast<unsigned long long>(multi.iterations),
         static_cast<unsigned long long>(dining.iterations),
         static_cast<unsigned long long>(gate.iterations),
+        static_cast<unsigned long long>(recovery.iterations),
         static_cast<unsigned long long>(multi.missed + dining.missed +
-                                        gate.missed),
+                                        gate.missed + recovery.missed),
         static_cast<unsigned long long>(multi.false_positives +
                                         dining.false_positives +
-                                        gate.false_positives));
+                                        gate.false_positives +
+                                        recovery.false_positives));
     std::fflush(stdout);
   }
 
-  const bool passed = multi.clean() && dining.clean() && gate.clean();
+  const bool passed = multi.clean() && dining.clean() && gate.clean() &&
+                      recovery.clean();
   const std::string out_path = flags.str("out");
   if (std::FILE* out = std::fopen(out_path.c_str(), "w")) {
     std::fprintf(out, "{\n  \"schema\": \"robmon-soak-v1\",\n");
@@ -151,6 +210,7 @@ int main(int argc, char** argv) {
     emit("multi", multi, ",");
     emit("dining", dining, ",");
     emit("gate", gate, ",");
+    emit("recovery", recovery, ",");
     std::fprintf(out, "  \"passed\": %s\n}\n", passed ? "true" : "false");
     std::fclose(out);
   }

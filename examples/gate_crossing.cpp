@@ -6,9 +6,16 @@
 // The exit status is the contract (CI smoke): a missed warning, a warning
 // in the consistent control, or any global-deadlock false positive fails.
 //
+// With --recovery=true an impose-order RecoveryPolicy rides the prediction
+// checkpoint: the rotated run must additionally impose the dominant
+// acquisition order (>= 1 recovery action, recorded as codec v4 `rcov`
+// lines in --trace exports), and the consistent control must draw ZERO
+// recovery actions.
+//
 //   ./example_gate_crossing
 //   ./example_gate_crossing --consistent=true
-//   ./example_gate_crossing --trace=/tmp/gate.trace   # robmon-trace v3
+//   ./example_gate_crossing --recovery=true
+//   ./example_gate_crossing --trace=/tmp/gate.trace   # robmon-trace v4
 #include <cstdio>
 #include <fstream>
 
@@ -27,9 +34,12 @@ int main(int argc, char** argv) {
                "all threads use one global order (no warning expected)");
   flags.define("dwell-ms", "4", "full-hold window per crossing");
   flags.define("timeout-ms", "30000", "give up after this long");
+  flags.define("recovery", "false",
+               "attach the impose-order recovery policy to the pool");
   flags.define("trace", "",
-               "export the acquisition-order relation as a robmon-trace v3 "
-               "file (replayable with example_trace_replay)");
+               "export the acquisition-order relation (and any recovery "
+               "actions) as a robmon-trace v4 file (replayable with "
+               "example_trace_replay)");
   if (!flags.parse(argc, argv)) return 2;
 
   wl::GateCrossingOptions options;
@@ -37,6 +47,7 @@ int main(int argc, char** argv) {
   options.threads = static_cast<int>(flags.i64("threads"));
   options.rounds = static_cast<int>(flags.i64("rounds"));
   options.consistent_order = flags.boolean("consistent");
+  options.recovery = flags.boolean("recovery");
   options.dwell_ns = flags.i64("dwell-ms") * util::kMillisecond;
   options.run_timeout = flags.i64("timeout-ms") * util::kMillisecond;
 
@@ -55,6 +66,18 @@ int main(int argc, char** argv) {
     std::printf("  %s\n", cycle.c_str());
   }
   std::printf("global-deadlock reports: %zu\n", result.global_deadlocks);
+  if (options.recovery) {
+    std::printf("recovery actions: %llu (orders imposed: %llu)\n",
+                static_cast<unsigned long long>(result.recovery_actions),
+                static_cast<unsigned long long>(result.orders_imposed));
+    if (!result.imposed_order.empty()) {
+      std::printf("imposed order:");
+      for (const auto& name : result.imposed_order) {
+        std::printf(" %s", name.c_str());
+      }
+      std::printf("\n");
+    }
+  }
 
   const std::string trace_path = flags.str("trace");
   if (!trace_path.empty()) {
@@ -62,6 +85,7 @@ int main(int argc, char** argv) {
     file.monitor_name = "gate-crossing";
     file.monitor_type = "pool";
     file.lock_order = core::to_order_records(result.edges);
+    file.recovery = result.recovery_log;
     std::ofstream out(trace_path);
     if (!out) {
       std::fprintf(stderr, "cannot open %s for writing\n",
@@ -69,8 +93,10 @@ int main(int argc, char** argv) {
       return 1;
     }
     trace::write_trace(out, file);
-    std::printf("order relation (%zu witnesses) -> %s\n",
-                file.lock_order.size(), trace_path.c_str());
+    std::printf("order relation (%zu witnesses, %zu recovery actions) -> "
+                "%s\n",
+                file.lock_order.size(), file.recovery.size(),
+                trace_path.c_str());
   }
 
   if (!result.completed) {
@@ -83,11 +109,13 @@ int main(int argc, char** argv) {
     return 1;
   }
   // The workload is fault-free by construction, so beyond the expected
-  // prediction warnings *no* report of any kind may appear — a spurious
-  // per-monitor ST verdict on a clean lane is a false positive too.
-  const std::size_t other_reports = result.fault_reports -
-                                    result.potential_deadlocks -
-                                    result.global_deadlocks;
+  // prediction warnings (and their recovery-action records) *no* report of
+  // any kind may appear — a spurious per-monitor ST verdict on a clean
+  // lane is a false positive too.
+  const std::size_t other_reports =
+      result.fault_reports - result.potential_deadlocks -
+      result.global_deadlocks -
+      static_cast<std::size_t>(result.recovery_actions);
   if (other_reports > 0) {
     std::printf("FAIL: %zu unexpected per-monitor report(s) on clean "
                 "lanes\n",
@@ -99,13 +127,24 @@ int main(int argc, char** argv) {
       std::printf("FAIL: consistent order must not be warned about\n");
       return 1;
     }
-    std::printf("OK: consistent order, no warnings\n");
+    if (result.recovery_actions > 0) {
+      std::printf("FAIL: consistent order must draw zero recovery "
+                  "actions\n");
+      return 1;
+    }
+    std::printf("OK: consistent order, no warnings%s\n",
+                options.recovery ? ", no recovery actions" : "");
   } else {
     if (result.potential_deadlocks == 0) {
       std::printf("FAIL: the rotated order cycle was not predicted\n");
       return 1;
     }
-    std::printf("OK: latent deadlock predicted before it ever happened\n");
+    if (options.recovery && result.orders_imposed == 0) {
+      std::printf("FAIL: prediction fired but no order was imposed\n");
+      return 1;
+    }
+    std::printf("OK: latent deadlock predicted before it ever happened%s\n",
+                options.recovery ? "; dominant order imposed" : "");
   }
   return 0;
 }

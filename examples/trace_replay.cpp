@@ -97,6 +97,35 @@ int replay(const std::string& path) {
     }
   }
 
+  // v4 documents may carry the pool's recovery-action log: re-state what
+  // the policy did and why (the `detail` field is the rationale — victim
+  // scoring or imposed order plus the triggering cycle).
+  if (!file.recovery.empty()) {
+    std::printf("recovery actions: %zu\n", file.recovery.size());
+    for (const auto& record : file.recovery) {
+      const char* verb = "?";
+      switch (record.action) {
+        case 'P':
+          verb = "poisoned victim monitor";
+          break;
+        case 'F':
+          verb = "delivered recovery fault";
+          break;
+        case 'O':
+          verb = "imposed acquisition order";
+          break;
+        case 'C':
+          verb = "recovery complete (unpoisoned)";
+          break;
+      }
+      std::printf("  [%c] %s %s (victim p%d, t#%llu): %s\n", record.action,
+                  verb, record.monitor.empty() ? "-" : record.monitor.c_str(),
+                  record.victim,
+                  static_cast<unsigned long long>(record.ticket),
+                  record.detail.c_str());
+    }
+  }
+
   // v3 documents may carry the pool's acquisition-order relation; re-derive
   // the lock-order prediction warnings from the persisted witnesses.
   if (!file.lock_order.empty()) {

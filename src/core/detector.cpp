@@ -17,6 +17,30 @@ void Detector::initialize(const trace::SchedulingState& initial) {
   initialized_ = true;
 }
 
+void Detector::rebaseline(const trace::SchedulingState& state) {
+  // Reconstruct (not just clear) the persistent rule state from the
+  // post-action snapshot: a holder that survived the recovery action will
+  // later Release, and ST-8b must find its acquisition on the Request-List;
+  // likewise ST-7 must account for the units already out.  Only the
+  // *pending* acquisitions of evicted waiters are dropped — they return
+  // kRecoveryFault and re-issue a fresh Acquire on retry.
+  requests_ = RequestList{};
+  const trace::SymbolId acquire =
+      symbols_->find(spec_.acquire_procedure);
+  for (const auto& hold : state.holders) {
+    for (std::int64_t unit = 0; unit < hold.units; ++unit) {
+      requests_.entries.push_back({hold.pid, acquire, hold.held_since});
+    }
+  }
+  counters_ = ResourceCounters{};
+  if (spec_.type == MonitorType::kCommunicationCoordinator &&
+      state.resources >= 0 && spec_.rmax > state.resources) {
+    // Occupied slots read as sends that have not been received yet.
+    counters_.sends = spec_.rmax - state.resources;
+  }
+  initialize(state);
+}
+
 Detector::CheckStats Detector::check(
     const std::vector<trace::EventRecord>& segment,
     const trace::SchedulingState& current, util::TimeNs now) {

@@ -33,6 +33,16 @@ class Detector {
   /// check).  Typically the empty state captured before any process runs.
   void initialize(const trace::SchedulingState& initial);
 
+  /// Re-baseline after an *out-of-band* transition — a recovery action
+  /// (victim monitor poisoned, designated fault delivered) wakes parked
+  /// threads without recording the resume events the ST-Rules expect, so
+  /// the detector must restart from the post-action state as if freshly
+  /// initialized: previous state replaced, Request-List and cumulative
+  /// resource counters cleared.  The caller must drain (discard) the event
+  /// segment spanning the action; rt::CheckerPool does both under the
+  /// monitor's checker gate.  Lifetime counters (checks_run, ...) persist.
+  void rebaseline(const trace::SchedulingState& state);
+
   struct CheckStats {
     std::size_t events = 0;      ///< Segment length |L|.
     std::size_t violations = 0;  ///< Violations reported this check.

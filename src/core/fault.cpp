@@ -28,6 +28,7 @@ FaultLevel level_of(FaultKind kind) {
     case FaultKind::kDoubleAcquireDeadlock:
     case FaultKind::kGlobalDeadlock:
     case FaultKind::kPotentialDeadlock:
+    case FaultKind::kRecoveryIntervention:
       return FaultLevel::kUserProcess;
     default:
       return FaultLevel::kImplementation;
@@ -82,6 +83,8 @@ std::string_view to_string(FaultKind kind) {
       return "global-deadlock";
     case FaultKind::kPotentialDeadlock:
       return "potential-deadlock";
+    case FaultKind::kRecoveryIntervention:
+      return "recovery-intervention";
   }
   return "?";
 }
@@ -134,6 +137,8 @@ std::string_view paper_designation(FaultKind kind) {
       return "ext.WF";
     case FaultKind::kPotentialDeadlock:
       return "ext.LO";
+    case FaultKind::kRecoveryIntervention:
+      return "ext.RC";
   }
   return "?";
 }
@@ -206,6 +211,10 @@ std::string_view description(FaultKind kind) {
       return "potential deadlock: monitors are acquired in inconsistent "
              "orders by different processes; a schedule exists that closes "
              "the cycle even though this run never did";
+    case FaultKind::kRecoveryIntervention:
+      return "recovery intervention: the recovery policy broke or pre-empted "
+             "a deadlock (victim monitor poisoned, designated fault "
+             "delivered, or the dominant acquisition order imposed)";
   }
   return "?";
 }
@@ -295,6 +304,8 @@ std::string_view to_string(RuleId rule) {
       return "WF cross-monitor wait-for cycle";
     case RuleId::kLockOrderCycle:
       return "LO lock-order cycle (predicted deadlock)";
+    case RuleId::kRecoveryAction:
+      return "RC recovery action applied";
   }
   return "?";
 }
@@ -318,6 +329,7 @@ FaultLevel level_of(RuleId rule) {
     case RuleId::kRealTimeOrder:
     case RuleId::kWfCycleDetected:
     case RuleId::kLockOrderCycle:
+    case RuleId::kRecoveryAction:
       return FaultLevel::kUserProcess;
     case RuleId::kUserAssertion:
       return FaultLevel::kMonitorProcedure;

@@ -61,12 +61,18 @@ enum class FaultKind : std::uint8_t {
   // (Goodlock-style lock-order prediction).
   kGlobalDeadlock,          ///< ext.WF cross-monitor circular wait.
   kPotentialDeadlock,       ///< ext.LO lock-order cycle; fault not yet real.
+  // Recovery extension: not a detected fault but an *applied remedy* — the
+  // recovery engine broke (or pre-empted) a deadlock by poisoning a victim
+  // monitor, delivering a RecoveryFault to one thread, or imposing the
+  // dominant acquisition order.  Reported through the same sink machinery
+  // so recovery actions are observable exactly like detections.
+  kRecoveryIntervention,    ///< ext.RC recovery action applied.
 };
 
-/// The paper's taxonomy size; kGlobalDeadlock and kPotentialDeadlock are
-/// extensions on top and are deliberately excluded (they are detected
-/// structurally at the pool level, not injected through the per-monitor
-/// catalog).
+/// The paper's taxonomy size; kGlobalDeadlock, kPotentialDeadlock and
+/// kRecoveryIntervention are extensions on top and are deliberately
+/// excluded (they are detected — or applied — structurally at the pool
+/// level, not injected through the per-monitor catalog).
 constexpr std::size_t kFaultKindCount = 21;
 
 FaultLevel level_of(FaultKind kind);
@@ -128,6 +134,10 @@ enum class RuleId : std::uint8_t {
   // (suspected fault kPotentialDeadlock — a warning, not a failure).
   kWfCycleDetected,
   kLockOrderCycle,
+  // Recovery extension: a RecoveryPolicy acted on one of the two cycle
+  // verdicts above (suspected fault kRecoveryIntervention — an action
+  // record, not a detection).
+  kRecoveryAction,
 };
 
 std::string_view to_string(RuleId rule);

@@ -1,0 +1,212 @@
+#include "core/recovery.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+namespace robmon::core {
+
+std::string_view to_string(RecoveryRemedy remedy) {
+  switch (remedy) {
+    case RecoveryRemedy::kPoisonVictim:
+      return "poison-victim";
+    case RecoveryRemedy::kDeliverFault:
+      return "deliver-fault";
+  }
+  return "?";
+}
+
+VictimComparator default_victim_comparator() {
+  return [](const VictimCandidate& a, const VictimCandidate& b) {
+    if (a.blocked_ticket != b.blocked_ticket) {
+      return a.blocked_ticket > b.blocked_ticket;  // youngest episode
+    }
+    if (a.blocked_since != b.blocked_since) {
+      return a.blocked_since > b.blocked_since;
+    }
+    if (a.held_monitors != b.held_monitors) {
+      return a.held_monitors < b.held_monitors;  // least work lost
+    }
+    if (a.priority != b.priority) return a.priority < b.priority;
+    return a.pid < b.pid;
+  };
+}
+
+RecoveryPolicy::RecoveryPolicy(Options options)
+    : options_(std::move(options)) {
+  if (!options_.comparator) options_.comparator = default_victim_comparator();
+}
+
+std::vector<VictimCandidate> RecoveryPolicy::candidates(
+    const DeadlockCycle& cycle) const {
+  std::vector<VictimCandidate> scored;
+  scored.reserve(cycle.links.size());
+  for (const auto& link : cycle.links) {
+    // A cycle may traverse one thread more than once (it waits on one
+    // monitor but holds several); one candidate per blocked thread.
+    const bool seen = std::any_of(
+        scored.begin(), scored.end(),
+        [&](const VictimCandidate& c) { return c.pid == link.pid; });
+    if (seen) continue;
+    VictimCandidate candidate;
+    candidate.pid = link.pid;
+    candidate.monitor = link.monitor;
+    candidate.monitor_name = link.monitor_name;
+    candidate.cond = link.cond;
+    candidate.blocked_since = link.blocked_since;
+    candidate.blocked_ticket = link.blocked_ticket;
+    for (const auto& held : cycle.links) {
+      if (held.holder == link.pid) ++candidate.held_monitors;
+    }
+    if (options_.priority) candidate.priority = options_.priority(link.pid);
+    scored.push_back(std::move(candidate));
+  }
+  return scored;
+}
+
+RecoveryDecision RecoveryPolicy::decide(const DeadlockCycle& cycle) const {
+  RecoveryDecision decision;
+  decision.remedy = options_.confirmed_remedy;
+  const std::vector<VictimCandidate> scored = candidates(cycle);
+  if (scored.empty()) return decision;  // degenerate cycle: nothing to do
+  decision.victim = *std::min_element(scored.begin(), scored.end(),
+                                      options_.comparator);
+  std::ostringstream why;
+  why << "victim p" << decision.victim.pid << " blocked on "
+      << decision.victim.monitor_name << "["
+      << (decision.victim.cond.empty() ? "entry" : decision.victim.cond)
+      << "] (t#" << decision.victim.blocked_ticket << ", holds "
+      << decision.victim.held_monitors << ", prio "
+      << decision.victim.priority << ") of " << scored.size()
+      << " candidate(s); remedy " << to_string(decision.remedy)
+      << "; " << describe(cycle);
+  decision.rationale = why.str();
+  return decision;
+}
+
+OrderDecision RecoveryPolicy::decide(
+    const OrderCycle& cycle, const std::vector<OrderEdge>& edges) const {
+  OrderDecision decision;
+  if (cycle.steps.empty()) return decision;
+
+  // Witness totals per cycle step: step i is the edge
+  // steps[i].monitor -> steps[(i+1) % n].monitor.
+  const auto witness_total = [&](std::size_t i) -> std::uint64_t {
+    const auto& from = cycle.steps[i];
+    const auto& to = cycle.steps[(i + 1) % cycle.steps.size()];
+    for (const auto& edge : edges) {
+      if (edge.from == from.monitor && edge.to == to.monitor) {
+        return edge.witness_total;
+      }
+    }
+    return 1;  // the cycle itself proves at least one witness
+  };
+
+  // The minority edge: fewest witnesses; ties break on the smaller
+  // (from, to) name pair so the decision is deterministic.
+  std::size_t minority = 0;
+  std::uint64_t minority_witnesses = witness_total(0);
+  for (std::size_t i = 1; i < cycle.steps.size(); ++i) {
+    const std::uint64_t witnesses = witness_total(i);
+    const auto name_pair = [&](std::size_t j) {
+      return std::make_pair(cycle.steps[j].name,
+                            cycle.steps[(j + 1) % cycle.steps.size()].name);
+    };
+    if (witnesses < minority_witnesses ||
+        (witnesses == minority_witnesses &&
+         name_pair(i) < name_pair(minority))) {
+      minority = i;
+      minority_witnesses = witnesses;
+    }
+  }
+  const std::size_t n = cycle.steps.size();
+  decision.minority_from = cycle.steps[minority].name;
+  decision.minority_to = cycle.steps[(minority + 1) % n].name;
+
+  // Fence every recorded witness of the minority edge (capped at the
+  // relation's retained-witness bound); the cycle's own witness at minimum.
+  for (const auto& edge : edges) {
+    if (edge.from_name != decision.minority_from ||
+        edge.to_name != decision.minority_to) {
+      continue;
+    }
+    for (const auto& witness : edge.witnesses) {
+      decision.fenced.push_back(witness.pid);
+    }
+  }
+  if (decision.fenced.empty()) {
+    decision.fenced.push_back(cycle.steps[minority].witness.pid);
+  }
+  std::sort(decision.fenced.begin(), decision.fenced.end());
+  decision.fenced.erase(
+      std::unique(decision.fenced.begin(), decision.fenced.end()),
+      decision.fenced.end());
+
+  // Linearize the cycle starting just past the minority edge: every
+  // majority edge then points forward, so acquiring left-to-right can never
+  // close this cycle.
+  for (std::size_t k = 0; k < n; ++k) {
+    decision.imposed_order.push_back(cycle.steps[(minority + 1 + k) % n].name);
+  }
+
+  std::ostringstream why;
+  why << "imposed order";
+  for (const auto& name : decision.imposed_order) why << " " << name;
+  why << "; fenced minority edge " << decision.minority_from << " -> "
+      << decision.minority_to << " (" << minority_witnesses
+      << " witness(es) vs the dominant direction) fencing pid(s)";
+  for (const trace::Pid pid : decision.fenced) why << " p" << pid;
+  why << "; " << describe(cycle);
+  decision.rationale = why.str();
+  return decision;
+}
+
+FaultReport make_recovery_report(const RecoveryDecision& decision,
+                                 util::TimeNs detected_at) {
+  FaultReport fault;
+  fault.rule = RuleId::kRecoveryAction;
+  fault.suspected = FaultKind::kRecoveryIntervention;
+  fault.pid = decision.victim.pid;
+  fault.detected_at = detected_at;
+  fault.message = decision.rationale;
+  return fault;
+}
+
+FaultReport make_recovery_report(const OrderDecision& decision,
+                                 util::TimeNs detected_at) {
+  FaultReport fault;
+  fault.rule = RuleId::kRecoveryAction;
+  fault.suspected = FaultKind::kRecoveryIntervention;
+  fault.pid =
+      decision.fenced.empty() ? trace::kNoPid : decision.fenced.front();
+  fault.detected_at = detected_at;
+  fault.message = decision.rationale;
+  return fault;
+}
+
+trace::RecoveryRecord make_recovery_record(const RecoveryDecision& decision,
+                                           util::TimeNs at) {
+  trace::RecoveryRecord record;
+  record.action =
+      decision.remedy == RecoveryRemedy::kPoisonVictim ? 'P' : 'F';
+  record.victim = decision.victim.pid;
+  record.monitor = decision.victim.monitor_name;
+  record.ticket = decision.victim.blocked_ticket;
+  record.at = at;
+  record.detail = decision.rationale;
+  return record;
+}
+
+trace::RecoveryRecord make_recovery_record(const OrderDecision& decision,
+                                           util::TimeNs at) {
+  trace::RecoveryRecord record;
+  record.action = 'O';
+  record.victim =
+      decision.fenced.empty() ? trace::kNoPid : decision.fenced.front();
+  record.monitor = decision.minority_from;
+  record.at = at;
+  record.detail = decision.rationale;
+  return record;
+}
+
+}  // namespace robmon::core

@@ -51,7 +51,8 @@ CheckerPool::CheckerPool(Options options)
                             ? std::max(options.lockorder_checkpoint_period,
                                        kMinPeriodNs)
                             : 0),
-      lockorder_sink_(options.lockorder_sink) {
+      lockorder_sink_(options.lockorder_sink),
+      recovery_(options.recovery) {
   if (waitfor_period_ > 0 && waitfor_sink_ == nullptr) {
     throw std::invalid_argument(
         "CheckerPool: waitfor_checkpoint_period set without a waitfor_sink");
@@ -170,23 +171,41 @@ void CheckerPool::remove(MonitorId id) {
   entry.scheduled = false;
   ++entry.generation;
   idle_cv_.wait(lock, [&entry] { return entry.busy == 0; });
+  HoareMonitor* monitor = entry.monitor;  // outlives its registration
   entries_.erase(it);  // stale heap items are discarded by the workers
   // No check of this monitor is in flight or can start (busy drained above),
-  // so nothing can re-contribute this id's edges after the erase.
+  // so nothing can re-contribute this id's edges after the erase.  Per the
+  // lifecycle contract (header comment), remove() erases the monitor from
+  // BOTH pool-level graphs and re-arms every reported cycle naming it —
+  // wait-for and order side handled identically.
+  const auto names_monitor = [id](const auto& reported) {
+    const auto& monitors = reported.second;
+    return std::find(monitors.begin(), monitors.end(), id) != monitors.end();
+  };
   {
     std::lock_guard<std::mutex> graph_lock(graph_mu_);
     graph_.erase(id);
+    std::erase_if(reported_cycles_, names_monitor);
   }
-  // Drop the monitor's order edges with it, and re-arm any warned cycle it
-  // participated in: a cycle through an unregistered monitor no longer
-  // exists, and if an equivalent one re-forms after a re-register it must
-  // be warned about again.
-  std::lock_guard<std::mutex> order_lock(lockorder_mu_);
-  order_graph_.erase(id);
-  std::erase_if(reported_order_cycles_, [id](const auto& reported) {
-    const auto& monitors = reported.second;
-    return std::find(monitors.begin(), monitors.end(), id) != monitors.end();
-  });
+  {
+    std::lock_guard<std::mutex> order_lock(lockorder_mu_);
+    order_graph_.erase(id);
+    std::erase_if(reported_order_cycles_, names_monitor);
+  }
+  // A sticky poison targeting the removed monitor can never be completed
+  // by a later checkpoint (the registration is gone) — clear it NOW, or a
+  // still-alive monitor re-registered later would reject blocking calls
+  // forever.  `monitor` stays valid here: remove() only unregisters, and
+  // busy drained above means no check references it.
+  bool was_poisoned = false;
+  {
+    std::lock_guard<std::mutex> recovery_lock(recovery_mu_);
+    was_poisoned =
+        std::erase_if(active_poisons_, [id](const auto& poison) {
+          return poison.second == id;
+        }) > 0;
+  }
+  if (was_poisoned) monitor->unpoison();
 }
 
 core::Detector::CheckStats CheckerPool::check_now(MonitorId id) {
@@ -282,12 +301,26 @@ core::Detector::CheckStats CheckerPool::run_check(Entry& entry,
   std::optional<trace::SchedulingState> state;
   core::Detector::CheckStats stats;
   util::TimeNs gate_released = started;
+  // While a monitor is recovery-poisoned its traffic is out-of-band by
+  // definition (evictions and would-block rejections record no events,
+  // but admitted non-blocking calls still record theirs), so replaying
+  // the window's segment would fabricate ST violations.  Detection is
+  // suspended for the window — segment drained and discarded, snapshot
+  // still taken (the wait-for/order contributions stay fresh) — and
+  // complete_recoveries() re-baselines the detector when service is
+  // restored.  recovery_poisoned() is stable across this function: the
+  // poison/unpoison transitions run under entry.check_mu, which every
+  // caller of run_check holds.
+  bool suppressed = false;
   if (entry.options.hold_gate_during_check) {
     {
       sync::CheckerGate::ExclusiveScope quiesce(entry.monitor->gate());
       segment = entry.monitor->log().drain();
       state = entry.monitor->snapshot();
-      stats = entry.detector->check(segment, *state, rule_now);
+      suppressed = entry.monitor->recovery_poisoned();
+      if (!suppressed) {
+        stats = entry.detector->check(segment, *state, rule_now);
+      }
     }
     gate_released = wall_now();  // paper mode: suspended through the check
   } else {
@@ -295,10 +328,14 @@ core::Detector::CheckStats CheckerPool::run_check(Entry& entry,
       sync::CheckerGate::ExclusiveScope quiesce(entry.monitor->gate());
       segment = entry.monitor->log().drain();
       state = entry.monitor->snapshot();
+      suppressed = entry.monitor->recovery_poisoned();
     }
     gate_released = wall_now();
-    stats = entry.detector->check(segment, *state, rule_now);
+    if (!suppressed) {
+      stats = entry.detector->check(segment, *state, rule_now);
+    }
   }
+  if (suppressed) stats.idle = true;
   const util::TimeNs finished = wall_now();
   checks_executed_.fetch_add(1, std::memory_order_relaxed);
   total_quiesce_ns_.fetch_add(
@@ -472,21 +509,31 @@ std::size_t CheckerPool::run_waitfor_checkpoint() {
     bool already_reported;
     {
       std::lock_guard<std::mutex> lock(graph_mu_);
-      already_reported = !reported_cycles_.insert(key).second;
+      std::vector<MonitorId> monitors;
+      monitors.reserve(cycle.links.size());
+      for (const auto& link : cycle.links) monitors.push_back(link.monitor);
+      already_reported =
+          !reported_cycles_.emplace(key, std::move(monitors)).second;
     }
     if (already_reported) continue;
     deadlocks_reported_.fetch_add(1, std::memory_order_relaxed);
     waitfor_sink_->report(core::make_cycle_report(cycle, clock_->now_ns()));
+    // Exactly one recovery action per reported cycle: actuation rides the
+    // same newly-reported edge as the fault report.
+    if (recovery_enabled()) act_on_confirmed_cycle(cycle);
   }
 
   // Forget cycles that no longer hold, so a deadlock that dissolves (e.g.
   // poisoned monitors) and later re-forms is reported again.
   {
     std::lock_guard<std::mutex> lock(graph_mu_);
-    std::erase_if(reported_cycles_, [&](const std::string& key) {
-      return confirmed_keys.find(key) == confirmed_keys.end();
+    std::erase_if(reported_cycles_, [&](const auto& reported) {
+      return confirmed_keys.find(reported.first) == confirmed_keys.end();
     });
   }
+  // Recovery-complete: a sticky poison whose cycle dissolved is cleared,
+  // restoring normal service on the victim monitor.
+  if (recovery_enabled()) complete_recoveries(confirmed_keys);
   return confirmed_count;
 }
 
@@ -506,6 +553,7 @@ std::size_t CheckerPool::run_lockorder_checkpoint() {
   // pass, and no cross-pass race to serialize: the reported-set insert
   // under the graph lock makes concurrent passes agree on who reports.
   std::vector<core::OrderCycle> fresh;
+  std::vector<core::OrderEdge> edges_snapshot;
   std::size_t present = 0;
   {
     std::lock_guard<std::mutex> lock(lockorder_mu_);
@@ -516,12 +564,18 @@ std::size_t CheckerPool::run_lockorder_checkpoint() {
           reported_order_cycles_.emplace(cycle.key(), cycle.monitors());
       if (inserted) fresh.push_back(std::move(cycle));
     }
+    // The pre-emptive decision scores minority edges by witness count; take
+    // the relation snapshot under the same lock as the verdicts.
+    if (!fresh.empty() && recovery_enabled()) {
+      edges_snapshot = order_graph_.edges();
+    }
   }
   lockorder_checkpoints_.fetch_add(1, std::memory_order_relaxed);
   for (const core::OrderCycle& cycle : fresh) {
     potential_deadlocks_reported_.fetch_add(1, std::memory_order_relaxed);
     lockorder_sink_->report(
         core::make_order_report(cycle, clock_->now_ns()));
+    if (recovery_enabled()) act_on_order_cycle(cycle, edges_snapshot);
   }
   return present;
 }
@@ -539,6 +593,130 @@ std::size_t CheckerPool::lockorder_edge_count() const {
 std::vector<core::OrderEdge> CheckerPool::lockorder_edges() const {
   std::lock_guard<std::mutex> lock(lockorder_mu_);
   return order_graph_.edges();
+}
+
+CheckerPool::Entry* CheckerPool::pin_entry(MonitorId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return nullptr;
+  ++it->second->busy;  // remove() waits for busy == 0
+  return it->second.get();
+}
+
+void CheckerPool::unpin_entry(Entry* entry) {
+  if (entry == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --entry->busy;
+  }
+  idle_cv_.notify_all();
+}
+
+void CheckerPool::rebaseline_entry(Entry& entry) {
+  // Discard the segment spanning the action and restart the detector from
+  // the post-action state.  The caller holds entry.check_mu, so no worker
+  // check interleaves between the action and the new baseline.
+  sync::CheckerGate::ExclusiveScope quiesce(entry.monitor->gate());
+  entry.monitor->log().drain();
+  entry.detector->rebaseline(entry.monitor->snapshot());
+}
+
+void CheckerPool::act_on_confirmed_cycle(const core::DeadlockCycle& cycle) {
+  const core::RecoveryDecision decision = recovery_.policy->decide(cycle);
+  if (decision.victim.pid == trace::kNoPid) return;
+  Entry* entry = pin_entry(decision.victim.monitor);
+  if (entry == nullptr) return;  // victim monitor unregistered: cycle gone
+  {
+    // check_mu spans the action and the re-baseline: a periodic check must
+    // never observe the post-action queues against a pre-action baseline
+    // (that mismatch would read as an ST-Rule violation).
+    std::lock_guard<std::mutex> check_lock(entry->check_mu);
+    if (decision.remedy == core::RecoveryRemedy::kPoisonVictim) {
+      entry->monitor->recovery_poison();
+      {
+        std::lock_guard<std::mutex> recovery_lock(recovery_mu_);
+        active_poisons_[cycle.key()] = entry->id;
+      }
+      victims_poisoned_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      entry->monitor->deliver_recovery_fault(decision.victim.pid);
+      recovery_faults_delivered_.fetch_add(1, std::memory_order_relaxed);
+    }
+    rebaseline_entry(*entry);
+  }
+  unpin_entry(entry);
+  recovery_actions_.fetch_add(1, std::memory_order_relaxed);
+  const util::TimeNs at = clock_->now_ns();
+  log_recovery(core::make_recovery_record(decision, at));
+  core::ReportSink* sink =
+      recovery_.sink != nullptr ? recovery_.sink : waitfor_sink_;
+  sink->report(core::make_recovery_report(decision, at));
+}
+
+void CheckerPool::act_on_order_cycle(
+    const core::OrderCycle& cycle,
+    const std::vector<core::OrderEdge>& edges) {
+  if (!recovery_.policy->preempt_predicted() || recovery_.gate == nullptr) {
+    return;
+  }
+  const core::OrderDecision decision = recovery_.policy->decide(cycle, edges);
+  if (decision.imposed_order.empty()) return;
+  recovery_.gate->impose(decision.imposed_order, decision.fenced);
+  orders_imposed_.fetch_add(1, std::memory_order_relaxed);
+  recovery_actions_.fetch_add(1, std::memory_order_relaxed);
+  const util::TimeNs at = clock_->now_ns();
+  log_recovery(core::make_recovery_record(decision, at));
+  core::ReportSink* sink =
+      recovery_.sink != nullptr ? recovery_.sink : lockorder_sink_;
+  sink->report(core::make_recovery_report(decision, at));
+}
+
+void CheckerPool::complete_recoveries(
+    const std::unordered_set<std::string>& confirmed_keys) {
+  std::vector<std::pair<std::string, MonitorId>> completed;
+  {
+    std::lock_guard<std::mutex> recovery_lock(recovery_mu_);
+    for (auto it = active_poisons_.begin(); it != active_poisons_.end();) {
+      if (confirmed_keys.find(it->first) != confirmed_keys.end()) {
+        ++it;
+        continue;
+      }
+      completed.emplace_back(it->first, it->second);
+      it = active_poisons_.erase(it);
+    }
+  }
+  for (const auto& [key, id] : completed) {
+    Entry* entry = pin_entry(id);
+    if (entry == nullptr) continue;
+    std::string name;
+    {
+      std::lock_guard<std::mutex> check_lock(entry->check_mu);
+      entry->monitor->unpoison();
+      // Detection was suspended for the poison window; restart it from
+      // the restored-service state.
+      rebaseline_entry(*entry);
+      name = entry->monitor->spec().name;
+    }
+    unpin_entry(entry);
+    monitors_unpoisoned_.fetch_add(1, std::memory_order_relaxed);
+    trace::RecoveryRecord record;
+    record.action = 'C';
+    record.monitor = name;
+    record.at = clock_->now_ns();
+    record.detail = "recovery complete: cycle dissolved, normal service "
+                    "restored; was " + key;
+    log_recovery(std::move(record));
+  }
+}
+
+void CheckerPool::log_recovery(trace::RecoveryRecord record) {
+  std::lock_guard<std::mutex> lock(recovery_mu_);
+  recovery_log_.push_back(std::move(record));
+}
+
+std::vector<trace::RecoveryRecord> CheckerPool::recovery_log() const {
+  std::lock_guard<std::mutex> lock(recovery_mu_);
+  return recovery_log_;
 }
 
 void CheckerPool::run_checkpoint_item_locked(

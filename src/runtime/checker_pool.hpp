@@ -80,6 +80,37 @@
 // is no live-validation pass; soundness comes from the certified-interval
 // join (see core/lockorder.hpp).  Unscheduling keeps a monitor's recorded
 // order edges (the warning stays valid); unregistering erases them.
+//
+// Recovery (Options::recovery): with a core::RecoveryPolicy attached, both
+// pool-level checkpoints turn their verdicts into actions.  When a
+// confirmed cycle is first reported, the policy scores the blocked
+// participants and the pool actuates the chosen remedy — recovery-poisons
+// the monitor the victim waits on (waiters wake with Status::kRecoveryFault
+// instead of blocking forever; sticky until the cycle dissolves, at which
+// point the next wait-for checkpoint unpoisons it) or delivers a designated
+// RecoveryFault to the victim thread alone.  When a predicted order cycle
+// is first warned about, the policy acts pre-emptively: the witness counts
+// name the dominant acquisition order, and the pool engages
+// Options::recovery.gate with that order plus the minority-edge witnesses,
+// so cooperating call sites re-order (or fence) before the cycle can ever
+// close.  Exactly one action fires per reported cycle.  After a poison or
+// delivery the affected monitor's Detector is re-baselined
+// (Detector::rebaseline) under its checker gate — recovery transitions are
+// out-of-band and must not surface as ST-Rule false positives.  Every
+// action (and every unpoison) is appended to recovery_log() as a trace
+// codec v4 `rcov` record and reported to Options::recovery.sink (rule RC).
+//
+// Lifecycle contract (unschedule vs remove): unschedule(id) stops checking
+// and withdraws the monitor's live wait-for contribution, but keeps its
+// recorded order edges, every reported-cycle key and all introspection
+// counters — a re-schedule resumes exactly where it left off, and nothing
+// is re-reported.  remove(id) additionally erases the monitor's edges from
+// BOTH pool-level graphs and re-arms every reported cycle (wait-for and
+// order alike) that named the monitor: a cycle through an unregistered
+// monitor no longer exists, and an equivalent one after a re-register must
+// be reported (and recovered from) again.  Cumulative counters
+// (checks_executed, deadlocks_reported, recovery_actions, ...) are
+// lifetime totals and are never reset by schedule/unschedule/remove.
 #pragma once
 
 #include <atomic>
@@ -96,8 +127,10 @@
 
 #include "core/detector.hpp"
 #include "core/lockorder.hpp"
+#include "core/recovery.hpp"
 #include "core/waitfor.hpp"
 #include "runtime/hoare_monitor.hpp"
+#include "trace/codec.hpp"
 
 namespace robmon::rt {
 
@@ -144,6 +177,20 @@ class CheckerPool {
     /// Destination for PotentialDeadlock warnings; required when the
     /// prediction checkpoint is enabled.
     core::ReportSink* lockorder_sink = nullptr;
+    /// Recovery hook, invoked from both checkpoints (see file comment).
+    struct Recovery {
+      /// Decision logic; null disables recovery.  Must outlive the pool.
+      core::RecoveryPolicy* policy = nullptr;
+      /// Impose-order actuator for predicted cycles; without it the
+      /// pre-emptive half of the policy is skipped (decisions on confirmed
+      /// cycles still actuate).
+      sync::Gate* gate = nullptr;
+      /// Destination for ext.RC action reports; when null, confirmed-cycle
+      /// actions go to waitfor_sink and order impositions to
+      /// lockorder_sink.
+      core::ReportSink* sink = nullptr;
+    };
+    Recovery recovery = {};
   };
 
   /// Per-monitor policy — the knobs PeriodicChecker::Options exposed.
@@ -192,10 +239,14 @@ class CheckerPool {
   void schedule(MonitorId id);
 
   /// Stop periodic checking of `id`; on return no check of this monitor is
-  /// in flight and none will start.  No-op if not scheduled.
+  /// in flight and none will start.  No-op if not scheduled.  Withdraws the
+  /// live wait-for contribution but keeps recorded order edges, reported-
+  /// cycle keys and counters (see the lifecycle contract above).
   void unschedule(MonitorId id);
 
-  /// Unschedule and unregister `id`.
+  /// Unschedule and unregister `id`: erases the monitor's edges from both
+  /// pool-level graphs and re-arms every reported cycle naming it, on both
+  /// the wait-for and the order side (see the lifecycle contract above).
   void remove(MonitorId id);
 
   /// One synchronous checking-routine invocation on the caller's thread;
@@ -289,6 +340,29 @@ class CheckerPool {
   /// Flattened copy of the order relation (trace export, diagnostics).
   std::vector<core::OrderEdge> lockorder_edges() const;
 
+  /// Recovery actions applied (poisons + deliveries + order impositions;
+  /// excludes unpoison completions).
+  std::uint64_t recovery_actions() const {
+    return recovery_actions_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t victims_poisoned() const {
+    return victims_poisoned_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t recovery_faults_delivered() const {
+    return recovery_faults_delivered_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t orders_imposed() const {
+    return orders_imposed_.load(std::memory_order_relaxed);
+  }
+  /// Recovery completions: sticky poisons cleared after their cycle
+  /// dissolved.
+  std::uint64_t monitors_unpoisoned() const {
+    return monitors_unpoisoned_.load(std::memory_order_relaxed);
+  }
+  /// Copy of the action log, in order — the codec v4 `rcov` records a
+  /// trace export attaches (examples/gate_crossing --trace).
+  std::vector<trace::RecoveryRecord> recovery_log() const;
+
  private:
   /// Reserved heap ids for the pool-level checkpoint items; real monitors
   /// start at kFirstMonitorId.
@@ -367,6 +441,27 @@ class CheckerPool {
   /// link to still hold (same blocking episode, same hold episode).
   bool validate_cycle(const core::DeadlockCycle& cycle);
 
+  bool recovery_enabled() const { return recovery_.policy != nullptr; }
+  /// Pin `id`'s entry (remove() waits on the busy count) for an actuation;
+  /// nullptr when the monitor already unregistered.  Callers must
+  /// unpin_entry() the result.
+  Entry* pin_entry(MonitorId id);
+  void unpin_entry(Entry* entry);
+  /// Drain the monitor's segment and re-baseline its detector under the
+  /// checker gate — recovery transitions are out-of-band and must not
+  /// surface as ST-Rule violations.
+  void rebaseline_entry(Entry& entry);
+  /// Actuate the policy's decision for a newly reported confirmed cycle.
+  void act_on_confirmed_cycle(const core::DeadlockCycle& cycle);
+  /// Actuate the pre-emptive decision for a newly warned order cycle;
+  /// `edges` is the relation snapshot the decision scores witnesses from.
+  void act_on_order_cycle(const core::OrderCycle& cycle,
+                          const std::vector<core::OrderEdge>& edges);
+  /// Clear sticky poisons whose cycle is no longer confirmed.
+  void complete_recoveries(
+      const std::unordered_set<std::string>& confirmed_keys);
+  void log_recovery(trace::RecoveryRecord record);
+
   const util::Clock* clock_;
   std::size_t configured_threads_;
   util::TimeNs batch_window_ = -1;
@@ -377,6 +472,7 @@ class CheckerPool {
   core::ReportSink* waitfor_sink_ = nullptr;
   util::TimeNs lockorder_period_ = 0;
   core::ReportSink* lockorder_sink_ = nullptr;
+  Options::Recovery recovery_;
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;   ///< Heap / stop changes.
@@ -403,9 +499,12 @@ class CheckerPool {
   /// candidates by epoch would lose monitors whose check cadence is slower
   /// than the checkpoint cadence.
   std::uint64_t graph_epoch_ = 0;
-  /// Keys of cycles confirmed at the previous pass (suppresses duplicate
-  /// reports while a deadlock persists; cleared when the cycle dissolves).
-  std::unordered_set<std::string> reported_cycles_;
+  /// Cycles confirmed at the previous pass, keyed by canonical cycle key
+  /// and remembering the participating monitors (suppresses duplicate
+  /// reports while a deadlock persists; cleared when the cycle dissolves,
+  /// and re-armed by remove() of any participant — same shape as the
+  /// order-side set below, per the lifecycle contract).
+  std::unordered_map<std::string, std::vector<MonitorId>> reported_cycles_;
 
   /// Lock-order prediction state.  Lock order: mu_ before lockorder_mu_,
   /// never the reverse (remove() erases a monitor's edges under mu_).
@@ -419,6 +518,18 @@ class CheckerPool {
   std::unordered_map<std::string, std::vector<core::OrderMonitorId>>
       reported_order_cycles_;
 
+  /// Recovery state.  recovery_mu_ only guards the log and the active
+  /// poison set; actuations never run under mu_/graph_mu_/lockorder_mu_.
+  /// Wait-for actuations are additionally serialized by
+  /// checkpoint_pass_mu_; order-side actuations are not — they rely on
+  /// the Gate's and the counters' own synchronization, so any new shared
+  /// state touched from act_on_order_cycle needs its own guard.
+  mutable std::mutex recovery_mu_;
+  std::vector<trace::RecoveryRecord> recovery_log_;
+  /// Sticky poisons by cycle key: cleared (and the monitor unpoisoned) by
+  /// the first wait-for pass that no longer confirms the cycle.
+  std::unordered_map<std::string, MonitorId> active_poisons_;
+
   std::atomic<std::uint64_t> checks_executed_{0};
   std::atomic<std::uint64_t> dispatches_{0};
   std::atomic<std::uint64_t> batched_checks_{0};
@@ -429,6 +540,11 @@ class CheckerPool {
   std::atomic<std::uint64_t> deadlocks_reported_{0};
   std::atomic<std::uint64_t> lockorder_checkpoints_{0};
   std::atomic<std::uint64_t> potential_deadlocks_reported_{0};
+  std::atomic<std::uint64_t> recovery_actions_{0};
+  std::atomic<std::uint64_t> victims_poisoned_{0};
+  std::atomic<std::uint64_t> recovery_faults_delivered_{0};
+  std::atomic<std::uint64_t> orders_imposed_{0};
+  std::atomic<std::uint64_t> monitors_unpoisoned_{0};
 };
 
 }  // namespace robmon::rt

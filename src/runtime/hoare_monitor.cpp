@@ -93,7 +93,7 @@ void HoareMonitor::note_release(trace::Pid pid) {
 }
 
 Status HoareMonitor::enter(trace::Pid pid, trace::SymbolId proc_id) {
-  Waiter self{pid, proc_id, 0, 0, {}};
+  Waiter self{pid, proc_id, 0, 0, false, {}};
   bool must_park = false;
   {
     std::optional<sync::CheckerGate::SharedScope> gate_scope;
@@ -136,6 +136,12 @@ Status HoareMonitor::enter(trace::Pid pid, trace::SymbolId proc_id) {
         return Status::kOk;
       }
     } else {
+      // Recovery poison rejects exactly the calls that would park: the
+      // monitor is busy, so this enter would block.  Non-blocking traffic
+      // (a free monitor — e.g. a Release returning a unit) flows, which is
+      // what lets a poisoned monitor drain back to service.  No event is
+      // recorded: the rejection is out-of-band, like the eviction.
+      if (recovery_poisoned_) return Status::kRecoveryFault;
       record(EventRecord::enter(pid, proc_id, false, now()));
       // Fault I.a.2: the request is recorded but then lost.
       if (injection_->fire(FaultKind::kEnterRequestLost, pid)) {
@@ -153,18 +159,29 @@ Status HoareMonitor::enter(trace::Pid pid, trace::SymbolId proc_id) {
   if (must_park) {
     const auto result = self.sem.acquire();
     if (result == sync::AcquireResult::kPoisoned) return Status::kPoisoned;
+    if (self.recovery) return Status::kRecoveryFault;
   }
   return Status::kOk;
 }
 
 Status HoareMonitor::wait(trace::Pid pid, trace::SymbolId cond) {
-  Waiter self{pid, trace::kNoSymbol, 0, 0, {}};
+  Waiter self{pid, trace::kNoSymbol, 0, 0, false, {}};
   bool must_park = false;
   {
     std::optional<sync::CheckerGate::SharedScope> gate_scope;
     if (instrumentation_ == Instrumentation::kFull) gate_scope.emplace(gate_);
     std::lock_guard<sync::SpinLock> lock(mu_);
     if (poisoned_) return Status::kPoisoned;
+    if (recovery_poisoned_) {
+      // The caller owns the monitor; a rejected wait must not leave it
+      // claimed (the entry queue is empty while recovery-poisoned, so
+      // there is nobody to hand off to).
+      if (owner_ && *owner_ == pid) {
+        owner_.reset();
+        inside_proc_.erase(pid);
+      }
+      return Status::kRecoveryFault;
+    }
 
     const trace::SymbolId proc_id = proc_of(pid);
     self.proc = proc_id;
@@ -213,6 +230,7 @@ Status HoareMonitor::wait(trace::Pid pid, trace::SymbolId cond) {
   if (must_park) {
     const auto result = self.sem.acquire();
     if (result == sync::AcquireResult::kPoisoned) return Status::kPoisoned;
+    if (self.recovery) return Status::kRecoveryFault;
   }
   return Status::kOk;
 }
@@ -404,6 +422,77 @@ void HoareMonitor::poison() {
 bool HoareMonitor::poisoned() const {
   std::lock_guard<sync::SpinLock> lock(mu_);
   return poisoned_;
+}
+
+void HoareMonitor::recovery_poison() {
+  std::vector<Waiter*> parked;
+  {
+    std::lock_guard<sync::SpinLock> lock(mu_);
+    recovery_poisoned_ = true;
+    for (EqEntry& entry : entry_queue_) {
+      if (entry.waiter != nullptr) parked.push_back(entry.waiter);
+    }
+    entry_queue_.clear();
+    for (auto& [cond, queue] : cond_queues_) {
+      for (Waiter* waiter : queue) parked.push_back(waiter);
+      queue.clear();
+    }
+    for (Waiter* waiter : lost_waiters_) parked.push_back(waiter);
+    lost_waiters_.clear();
+    // The flag must be set before the release: the woken thread reads it
+    // with no lock, and the semaphore hand-off orders the write.
+    for (Waiter* waiter : parked) waiter->recovery = true;
+  }
+  for (Waiter* waiter : parked) waiter->sem.release();
+}
+
+void HoareMonitor::unpoison() {
+  std::lock_guard<sync::SpinLock> lock(mu_);
+  recovery_poisoned_ = false;
+}
+
+bool HoareMonitor::recovery_poisoned() const {
+  std::lock_guard<sync::SpinLock> lock(mu_);
+  return recovery_poisoned_;
+}
+
+bool HoareMonitor::deliver_recovery_fault(trace::Pid pid) {
+  Waiter* victim = nullptr;
+  {
+    std::lock_guard<sync::SpinLock> lock(mu_);
+    for (auto it = entry_queue_.begin(); it != entry_queue_.end(); ++it) {
+      if (it->pid == pid && it->waiter != nullptr) {
+        victim = it->waiter;
+        entry_queue_.erase(it);
+        break;
+      }
+    }
+    if (victim == nullptr) {
+      for (auto& [cond, queue] : cond_queues_) {
+        for (auto it = queue.begin(); it != queue.end(); ++it) {
+          if ((*it)->pid == pid) {
+            victim = *it;
+            queue.erase(it);
+            break;
+          }
+        }
+        if (victim != nullptr) break;
+      }
+    }
+    if (victim == nullptr) {
+      for (auto it = lost_waiters_.begin(); it != lost_waiters_.end(); ++it) {
+        if ((*it)->pid == pid) {
+          victim = *it;
+          lost_waiters_.erase(it);
+          break;
+        }
+      }
+    }
+    if (victim == nullptr) return false;
+    victim->recovery = true;
+  }
+  victim->sem.release();
+  return true;
 }
 
 }  // namespace robmon::rt

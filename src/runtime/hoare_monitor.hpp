@@ -35,8 +35,13 @@ namespace robmon::rt {
 
 /// Result of a potentially blocking primitive.
 enum class Status {
-  kOk,        ///< Completed normally.
-  kPoisoned,  ///< Monitor poisoned while blocked (teardown).
+  kOk,             ///< Completed normally.
+  kPoisoned,       ///< Monitor poisoned while blocked (teardown).
+  kRecoveryFault,  ///< Woken (or rejected) by a recovery action: the
+                   ///  monitor is recovery-poisoned, or a designated fault
+                   ///  was delivered to this thread to break a deadlock.
+                   ///  The caller holds nothing here and should release
+                   ///  resources held elsewhere and retry or unwind.
 };
 
 /// What the augmented construct adds on top of the bare monitor; kOff gives
@@ -124,6 +129,34 @@ class HoareMonitor {
   void poison();
   bool poisoned() const;
 
+  // --- Recovery plumbing (rt::CheckerPool's recovery hook). -----------------
+  //
+  // Unlike teardown poison, recovery poison is *survivable*: the monitor
+  // keeps operating and can be restored.  The detector does not see these
+  // transitions as events; the pool re-baselines the monitor's Detector
+  // right after acting (Detector::rebaseline), keeping the ST-Rules'
+  // zero-false-positive contract intact.
+
+  /// Recovery-poison: every parked waiter wakes with kRecoveryFault, and —
+  /// sticky, until unpoison() — every enter()/wait() that WOULD BLOCK
+  /// returns kRecoveryFault instead of parking.  Non-blocking traffic
+  /// still flows: an enter of a free monitor (e.g. a Release returning a
+  /// unit) proceeds normally, so a poisoned monitor drains back toward
+  /// service instead of wedging its holders.  Used to break a confirmed
+  /// deadlock by evicting the victim monitor's waiters.
+  void recovery_poison();
+
+  /// Clear the sticky recovery-poison state: normal service resumes for
+  /// new arrivals (recovery-complete, e.g. the wait-for cycle dissolved).
+  void unpoison();
+  bool recovery_poisoned() const;
+
+  /// Deliver a designated RecoveryFault to one parked thread: `pid` is
+  /// removed from whichever queue it waits on and wakes with
+  /// kRecoveryFault; every other waiter is untouched and the monitor is
+  /// not poisoned.  Returns false when `pid` is not parked here.
+  bool deliver_recovery_fault(trace::Pid pid);
+
  private:
   struct Waiter {
     trace::Pid pid;
@@ -131,6 +164,10 @@ class HoareMonitor {
     util::TimeNs since;
     /// Episode ticket assigned at each park (see next_ticket_).
     std::uint64_t ticket = 0;
+    /// Set (under mu_, before the release) when a recovery action wakes
+    /// this waiter: the parked thread reports kRecoveryFault instead of
+    /// kOk.  Read by its own thread only after the semaphore hand-off.
+    bool recovery = false;
     sync::BinarySemaphore sem;
   };
 
@@ -200,6 +237,8 @@ class HoareMonitor {
   bool track_resources_ = false;
   std::int64_t resources_ = -1;
   bool poisoned_ = false;
+  /// Sticky recovery-poison state (recovery_poison()/unpoison()).
+  bool recovery_poisoned_ = false;
 };
 
 }  // namespace robmon::rt

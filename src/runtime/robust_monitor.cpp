@@ -88,11 +88,27 @@ Status RobustMonitor::enter(trace::Pid pid, const std::string& procedure) {
   // Real-time phase: check the declared partial order before admission
   // (Section 3.3: "real-time checking of calling orders").
   advance_order_matcher(pid, procedure);
-  return monitor_.enter(pid, procedure);
+  const Status status = monitor_.enter(pid, procedure);
+  // A recovery eviction/rejection aborts the caller's protocol sequence
+  // mid-call: the matcher advanced for a procedure that never completed,
+  // and the caller is told to retry from scratch — so the matcher must
+  // restart too, or the retry's Acquire reads as a declared-order
+  // violation (a recovery-induced false positive).
+  if (status == Status::kRecoveryFault) reset_order_matcher(pid);
+  return status;
 }
 
 Status RobustMonitor::wait(trace::Pid pid, const std::string& cond) {
-  return monitor_.wait(pid, cond);
+  const Status status = monitor_.wait(pid, cond);
+  if (status == Status::kRecoveryFault) reset_order_matcher(pid);
+  return status;
+}
+
+void RobustMonitor::reset_order_matcher(trace::Pid pid) {
+  if (!order_spec_) return;
+  std::lock_guard<std::mutex> lock(matchers_mu_);
+  const auto it = matchers_.find(pid);
+  if (it != matchers_.end()) it->second.reset();
 }
 
 void RobustMonitor::signal_exit(trace::Pid pid, const std::string& cond) {

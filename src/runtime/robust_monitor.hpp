@@ -115,6 +115,15 @@ class RobustMonitor {
   /// Release all blocked processes with kPoisoned (teardown).
   void poison() { monitor_.poison(); }
 
+  /// Recovery passthroughs (survivable poison + restore; usually driven by
+  /// the pool's recovery hook, exposed for direct policies and tests).
+  void recovery_poison() { monitor_.recovery_poison(); }
+  void unpoison() { monitor_.unpoison(); }
+  bool recovery_poisoned() const { return monitor_.recovery_poisoned(); }
+  bool deliver_recovery_fault(trace::Pid pid) {
+    return monitor_.deliver_recovery_fault(pid);
+  }
+
   HoareMonitor& monitor() { return monitor_; }
   core::Detector& detector() { return detector_; }
   trace::SymbolTable& symbols() { return monitor_.symbols(); }
@@ -125,6 +134,10 @@ class RobustMonitor {
 
  private:
   void advance_order_matcher(trace::Pid pid, const std::string& procedure);
+  /// Restart `pid`'s calling-order matcher after a recovery fault aborted
+  /// its in-flight procedure (the caller retries the protocol from
+  /// scratch, so the declared order restarts with it).
+  void reset_order_matcher(trace::Pid pid);
 
   core::ReportSink* sink_;
   Options options_;

@@ -43,10 +43,11 @@ EventKind kind_from_code(char code, std::size_t line_no) {
 }  // namespace
 
 void write_trace(std::ostream& out, const TraceFile& trace) {
-  // v3 adds `lord` lock-order-witness lines; v2 appends the episode ticket
-  // as a trailing field on state/eq/cq/hold lines.  Older documents (no
-  // lord lines, no tickets) still parse, with the absent data defaulted.
-  out << "robmon-trace v3\n";
+  // v4 adds `rcov` recovery-action lines; v3 adds `lord` lock-order-witness
+  // lines; v2 appends the episode ticket as a trailing field on
+  // state/eq/cq/hold lines.  Older documents (no rcov/lord lines, no
+  // tickets) still parse, with the absent data defaulted.
+  out << "robmon-trace v4\n";
   out << "monitor " << trace.monitor_name << " " << trace.monitor_type << " "
       << trace.rmax << "\n";
   for (std::size_t i = 0; i < trace.symbols.size(); ++i) {
@@ -85,6 +86,13 @@ void write_trace(std::ostream& out, const TraceFile& trace) {
         << " " << record.from_ticket << " " << record.to_ticket << " "
         << (record.to_wait ? 'W' : 'H') << "\n";
   }
+  for (const auto& record : trace.recovery) {
+    out << "rcov " << record.action << " " << record.victim << " "
+        << (record.monitor.empty() ? "-" : record.monitor) << " "
+        << record.ticket << " " << record.at;
+    if (!record.detail.empty()) out << " " << record.detail;
+    out << "\n";
+  }
 }
 
 std::string write_trace_string(const TraceFile& trace) {
@@ -106,8 +114,8 @@ TraceFile read_trace(std::istream& in) {
 
   if (!std::getline(in, line)) parse_error(1, "empty trace");
   ++line_no;
-  if (line != "robmon-trace v3" && line != "robmon-trace v2" &&
-      line != "robmon-trace v1") {
+  if (line != "robmon-trace v4" && line != "robmon-trace v3" &&
+      line != "robmon-trace v2" && line != "robmon-trace v1") {
     parse_error(1, "bad magic: " + line);
   }
 
@@ -198,6 +206,18 @@ TraceFile read_trace(std::istream& in) {
       }
       record.to_wait = kind == 'W';
       trace.lock_order.push_back(std::move(record));
+    } else if (tag == "rcov") {
+      RecoveryRecord record;
+      fields >> record.action >> record.victim >> record.monitor >>
+          record.ticket >> record.at;
+      if (fields.fail() || std::string("PFOC").find(record.action) ==
+                               std::string::npos) {
+        parse_error(line_no, "bad rcov line");
+      }
+      if (record.monitor == "-") record.monitor.clear();
+      // The rationale is the free-text remainder of the line.
+      std::getline(fields >> std::ws, record.detail);
+      trace.recovery.push_back(std::move(record));
     } else {
       parse_error(line_no, "unknown tag: " + tag);
     }

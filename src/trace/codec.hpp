@@ -30,6 +30,28 @@ struct LockOrderRecord {
   bool operator==(const LockOrderRecord&) const = default;
 };
 
+/// One persisted recovery action (robmon-trace v4 `rcov` line): what the
+/// recovery policy did and why.  `action` is one of
+///   'P'  victim monitor poisoned (waiters wake with RecoveryFault),
+///   'F'  designated RecoveryFault delivered to the victim thread,
+///   'O'  dominant acquisition order imposed (minority call sites fenced),
+///   'C'  recovery complete — victim monitor unpoisoned, service restored.
+/// `victim` / `monitor` / `ticket` identify the chosen victim (kNoPid /
+/// empty / 0 when the action has none, e.g. an order imposition names only
+/// the fenced edge in `detail`).  `detail` is the policy's rationale — the
+/// cycle that triggered the action plus the comparator verdict — and is the
+/// free-text remainder of the line.
+struct RecoveryRecord {
+  char action = '?';
+  Pid victim = kNoPid;
+  std::string monitor;
+  std::uint64_t ticket = 0;
+  util::TimeNs at = 0;
+  std::string detail;
+
+  bool operator==(const RecoveryRecord&) const = default;
+};
+
 /// In-memory representation of a serialized trace.
 struct TraceFile {
   std::string monitor_name;
@@ -40,17 +62,22 @@ struct TraceFile {
   std::vector<SchedulingState> checkpoints;
   /// Acquisition-order relation (v3; empty for v1/v2 documents).
   std::vector<LockOrderRecord> lock_order;
+  /// Recovery actions (v4; empty for earlier documents).  Pool-scoped, like
+  /// the lock-order relation.
+  std::vector<RecoveryRecord> recovery;
 };
 
-/// Serialize to the robmon-trace v3 text format (v2 plus `lord`
-/// lock-order-witness lines; v2 itself is v1 plus per-entry episode tickets
-/// on state/eq/cq/hold lines).
+/// Serialize to the robmon-trace v4 text format (v3 plus `rcov`
+/// recovery-action lines; v3 is v2 plus `lord` lock-order-witness lines;
+/// v2 itself is v1 plus per-entry episode tickets on state/eq/cq/hold
+/// lines).  docs/trace-format.md documents every line shape.
 void write_trace(std::ostream& out, const TraceFile& trace);
 std::string write_trace_string(const TraceFile& trace);
 
-/// Parse a robmon-trace v1, v2 or v3 document (v1 entries get ticket 0;
-/// v1/v2 documents have an empty lock-order relation).  Throws
-/// std::runtime_error with a line-numbered message on malformed input.
+/// Parse a robmon-trace v1, v2, v3 or v4 document (v1 entries get ticket 0;
+/// v1/v2 documents have an empty lock-order relation, pre-v4 documents an
+/// empty recovery log).  Throws std::runtime_error with a line-numbered
+/// message on malformed input.
 TraceFile read_trace(std::istream& in);
 TraceFile read_trace_string(const std::string& text);
 

@@ -16,6 +16,24 @@
 // first `deadlock_rings` rings (acquire left, rendezvous, acquire right),
 // and accounts detection per ring: a correct engine reports a cycle for
 // every injected ring and never names a clean ring.
+//
+// Recovery modes (DiningLoadOptions::recovery) turn the same workload into
+// the liveness contract for the recovery engine: a ring that
+// deterministically deadlocks must run to completion.
+//   * kPoisonVictim / kDeliverFault — the injected rendezvous cycle closes
+//     for real; the pool's recovery hook breaks it (victim monitor poisoned
+//     or designated fault delivered), evicted philosophers hand back their
+//     left fork and retry the full crossing until it succeeds (so unpoison-
+//     restores-service is exercised too).
+//   * kImposeOrder — pre-emption: the injected rings first run a serialized
+//     "parade" (each philosopher briefly holds left+right) that records the
+//     circular acquisition-order relation without any real deadlock; the
+//     prediction checkpoint warns, the policy imposes the dominant order on
+//     a sync::Gate, and only then does the ring attempt the rendezvous
+//     crossing — gate-aware (order applied, crossing fenced), so the cycle
+//     that would otherwise close deterministically never can.
+// In every mode the acceptance contract is: all threads complete, exactly
+// one recovery action per injected ring, zero actions on clean rings.
 #pragma once
 
 #include <cstdint>
@@ -23,9 +41,18 @@
 #include <vector>
 
 #include "core/fault.hpp"
+#include "trace/codec.hpp"
 #include "util/clock.hpp"
 
 namespace robmon::wl {
+
+/// Recovery remedy exercised by run_dining_load (kOff = detection only).
+enum class DiningRecovery {
+  kOff,
+  kPoisonVictim,
+  kDeliverFault,
+  kImposeOrder,
+};
 
 struct DiningOptions {
   int philosophers = 5;
@@ -83,6 +110,8 @@ struct DiningLoadOptions {
   util::TimeNs checkpoint_period = 10 * util::kMillisecond;
   std::size_t pool_threads = 0;  ///< K for the shared pool; 0 = auto.
   util::TimeNs run_timeout = 5 * util::kSecond;
+  /// Recovery mode (see file comment); kOff reproduces detection-only.
+  DiningRecovery recovery = DiningRecovery::kOff;
 };
 
 struct DiningLoadResult {
@@ -98,6 +127,20 @@ struct DiningLoadResult {
   std::uint64_t checkpoints_run = 0;
   std::size_t fault_reports = 0;
   std::vector<core::FaultReport> reports;
+
+  // --- Recovery accounting (all zero when recovery == kOff). ----------------
+  /// Liveness: every injected-ring philosopher completed a full crossing.
+  bool recovered_rings_completed = false;
+  std::uint64_t recovery_actions = 0;  ///< Poisons + deliveries + impositions.
+  std::uint64_t victims_poisoned = 0;
+  std::uint64_t faults_delivered = 0;
+  std::uint64_t orders_imposed = 0;
+  std::uint64_t monitors_unpoisoned = 0;
+  /// Wall-clock ns from the first confirmed/predicted report to the first
+  /// recovery action (the bench's recovery-latency column); 0 = no action.
+  std::uint64_t recovery_latency_ns = 0;
+  /// The pool's codec v4 `rcov` records, in order.
+  std::vector<trace::RecoveryRecord> recovery_log;
 };
 
 DiningLoadResult run_dining_load(const DiningLoadOptions& options);

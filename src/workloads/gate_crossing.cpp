@@ -4,9 +4,13 @@
 #include <chrono>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
+#include <unordered_map>
 
+#include "core/recovery.hpp"
 #include "runtime/checker_pool.hpp"
+#include "sync/gate.hpp"
 #include "workloads/allocator.hpp"
 
 namespace robmon::wl {
@@ -35,6 +39,11 @@ GateCrossingResult run_gate_crossing(const GateCrossingOptions& options) {
   const int rounds = std::max(1, options.rounds);
 
   core::CollectingSink sink;
+  core::RecoveryPolicy::Options policy_options;
+  policy_options.preempt_predicted = true;
+  core::RecoveryPolicy policy(policy_options);
+  sync::Gate recovery_gate;
+
   rt::CheckerPool::Options pool_options;
   pool_options.threads = options.pool_threads;
   pool_options.waitfor_checkpoint_period = options.waitfor_checkpoint_period;
@@ -42,18 +51,25 @@ GateCrossingResult run_gate_crossing(const GateCrossingOptions& options) {
   pool_options.lockorder_checkpoint_period =
       options.lockorder_checkpoint_period;
   pool_options.lockorder_sink = &sink;
+  if (options.recovery) {
+    pool_options.recovery.policy = &policy;
+    pool_options.recovery.gate = &recovery_gate;
+  }
   rt::CheckerPool pool(pool_options);
 
   std::vector<std::unique_ptr<rt::RobustMonitor>> lane_monitors;
   std::vector<std::unique_ptr<ResourceAllocator>> lane_allocs;
+  std::vector<std::string> lane_names;
+  std::unordered_map<std::string, std::size_t> lane_index;
   lane_monitors.reserve(lanes);
   lane_allocs.reserve(lanes);
   rt::RobustMonitor::Options monitor_options;
   monitor_options.checker_pool = &pool;
   for (std::size_t lane = 0; lane < lanes; ++lane) {
+    lane_names.push_back("lane-" + std::to_string(lane));
+    lane_index.emplace(lane_names.back(), lane);
     lane_monitors.push_back(std::make_unique<rt::RobustMonitor>(
-        lane_spec("lane-" + std::to_string(lane), options), sink,
-        monitor_options));
+        lane_spec(lane_names.back(), options), sink, monitor_options));
     lane_allocs.push_back(
         std::make_unique<ResourceAllocator>(*lane_monitors.back(), 1));
     lane_monitors.back()->start_checking();
@@ -78,16 +94,35 @@ GateCrossingResult run_gate_crossing(const GateCrossingOptions& options) {
       }
       for (int round = 0; round < rounds; ++round) {
         std::lock_guard<std::mutex> crossing(gate);
+        // Gate-aware crossing: once the recovery policy has imposed an
+        // order, cooperative call sites re-sort onto it (and fenced pids
+        // cross exclusively), so later rounds stop witnessing the
+        // minority direction.
+        std::vector<std::size_t> seq = order;
+        std::optional<sync::Gate::Scope> fence;
+        if (options.recovery) {
+          std::vector<std::string> names;
+          names.reserve(lanes);
+          for (const std::size_t lane : order) {
+            names.push_back(lane_names[lane]);
+          }
+          recovery_gate.apply_order(names);
+          seq.clear();
+          for (const std::string& name : names) {
+            seq.push_back(lane_index.at(name));
+          }
+          fence.emplace(recovery_gate, pid);
+        }
         std::size_t taken = 0;
         for (; taken < lanes; ++taken) {
-          if (lane_allocs[order[taken]]->acquire(pid) != rt::Status::kOk) {
+          if (lane_allocs[seq[taken]]->acquire(pid) != rt::Status::kOk) {
             break;  // poisoned: release what we hold and bail
           }
           pause(options.step_ns);
         }
         if (taken == lanes) pause(options.dwell_ns);
         for (std::size_t k = taken; k > 0; --k) {
-          (void)lane_allocs[order[k - 1]]->release(pid);
+          (void)lane_allocs[seq[k - 1]]->release(pid);
         }
         if (taken < lanes) break;
         pause(options.think_ns);
@@ -126,6 +161,10 @@ GateCrossingResult run_gate_crossing(const GateCrossingOptions& options) {
   result.lockorder_checkpoints = pool.lockorder_checkpoints();
   result.edges = pool.lockorder_edges();
   result.order_edges = result.edges.size();
+  result.recovery_actions = pool.recovery_actions();
+  result.orders_imposed = pool.orders_imposed();
+  result.imposed_order = recovery_gate.imposed_order();
+  result.recovery_log = pool.recovery_log();
   result.reports = sink.reports();
   result.fault_reports = result.reports.size();
   for (const auto& report : result.reports) {

@@ -27,6 +27,7 @@
 
 #include "core/fault.hpp"
 #include "core/lockorder.hpp"
+#include "trace/codec.hpp"
 #include "util/clock.hpp"
 
 namespace robmon::wl {
@@ -56,6 +57,12 @@ struct GateCrossingOptions {
   util::TimeNs waitfor_checkpoint_period = 5 * util::kMillisecond;
   std::size_t pool_threads = 0;  ///< K for the shared pool; 0 = auto.
   util::TimeNs run_timeout = 30 * util::kSecond;
+  /// Attach an impose-order RecoveryPolicy + sync::Gate to the pool and
+  /// make the crossings gate-aware (imposed order applied, crossings
+  /// scoped).  Rotated orders must then draw exactly one imposition per
+  /// predicted cycle; the consistent_order control must show ZERO recovery
+  /// actions — the recovery engine's false-positive guard.
+  bool recovery = false;
 };
 
 struct GateCrossingResult {
@@ -72,6 +79,14 @@ struct GateCrossingResult {
   std::vector<core::OrderEdge> edges;  ///< The relation (trace export).
   std::size_t fault_reports = 0;
   std::vector<core::FaultReport> reports;
+
+  // --- Recovery accounting (all zero unless options.recovery). --------------
+  std::uint64_t recovery_actions = 0;
+  std::uint64_t orders_imposed = 0;
+  /// The imposed acquisition order, when any (diagnostics).
+  std::vector<std::string> imposed_order;
+  /// The pool's codec v4 `rcov` records (attached to --trace exports).
+  std::vector<trace::RecoveryRecord> recovery_log;
 };
 
 GateCrossingResult run_gate_crossing(const GateCrossingOptions& options);

@@ -283,6 +283,51 @@ TEST(PoolWaitForTest, TwoMonitorDeadlockConfirmedAndReportedOnce) {
   EXPECT_EQ(fx.pool.run_waitfor_checkpoint(), 0u);
 }
 
+TEST(PoolWaitForTest, UnscheduleKeepsReportedCycleStateAcrossReschedule) {
+  // The lifecycle contract (checker_pool.hpp): unschedule() withdraws the
+  // live wait-for contribution but keeps reported-cycle keys and all
+  // counters, so a re-scheduled monitor resumes exactly where it left off
+  // and a persisting deadlock is NOT re-reported.  (remove() is the one
+  // that re-arms; its order-side twin is covered in lockorder_test.)
+  // The periodic cadence is parked far in the future: a periodic pass
+  // racing the unschedule window would observe the withdrawn contribution
+  // as a dissolved cycle and legitimately re-arm it — only the
+  // synchronous passes below may run.
+  CheckerPool::Options options;
+  options.waitfor_checkpoint_period = 3600 * util::kSecond;
+  TwoForkFixture fx(options);
+  fx.m0.start_checking();
+  fx.m1.start_checking();
+
+  ASSERT_EQ(fx.f0.acquire(1), rt::Status::kOk);
+  ASSERT_EQ(fx.f1.acquire(2), rt::Status::kOk);
+  std::thread t1([&] { (void)fx.f1.acquire(1); });
+  std::thread t2([&] { (void)fx.f0.acquire(2); });
+  fx.wait_blocked(fx.m0, 1);
+  fx.wait_blocked(fx.m1, 1);
+
+  fx.m0.check_now();
+  fx.m1.check_now();
+  EXPECT_EQ(fx.pool.run_waitfor_checkpoint(), 1u);
+  EXPECT_EQ(fx.wf_reports(), 1u);
+  const std::uint64_t reported_before = fx.pool.deadlocks_reported();
+
+  fx.m0.stop_checking();   // unschedule: contribution withdrawn ...
+  fx.m0.start_checking();  // ... reported-cycle keys and counters kept
+  fx.m0.check_now();
+  fx.m1.check_now();
+  EXPECT_EQ(fx.pool.run_waitfor_checkpoint(), 1u);  // still confirmed
+  EXPECT_EQ(fx.wf_reports(), 1u);                   // but not re-reported
+  EXPECT_EQ(fx.pool.deadlocks_reported(), reported_before);
+
+  fx.m0.poison();
+  fx.m1.poison();
+  t1.join();
+  t2.join();
+  fx.m0.stop_checking();
+  fx.m1.stop_checking();
+}
+
 TEST(PoolWaitForTest, FiveMonitorRingDetectedUnderLoad) {
   wl::DiningLoadOptions options;
   options.rings = 1;

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo markdown links.
+
+Scans every tracked *.md file for inline links and reference-style link
+targets, and verifies that each RELATIVE target (no URL scheme, not a bare
+#anchor) resolves to an existing file or directory, after stripping any
+#fragment.  External http(s)/mailto links are ignored — CI must not flake
+on the network.
+
+Usage: python3 tools/check_links.py [root]
+Exit status: 0 = all links resolve, 1 = broken links (listed on stderr).
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+# Inline [text](target) links; images ![alt](target) match too via the
+# optional leading "!".  Angle-bracketed targets <...> are unwrapped.
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^()\s]+(?:\([^()]*\))?)\)")
+SCHEME = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def tracked_markdown(root):
+    out = subprocess.run(
+        ["git", "ls-files", "*.md", "**/*.md"],
+        cwd=root, capture_output=True, text=True, check=True)
+    return sorted(set(line for line in out.stdout.splitlines() if line))
+
+
+def check_file(root, path):
+    broken = []
+    text = open(os.path.join(root, path), encoding="utf-8").read()
+    # Skip fenced code blocks: ``` samples often contain [x](y) shapes that
+    # are code, not links.  Replace each block with its own newlines so the
+    # reported line numbers stay correct after the removal.
+    text = re.sub(r"```.*?```", lambda m: "\n" * m.group(0).count("\n"),
+                  text, flags=re.DOTALL)
+    for lineno, line in enumerate(text.splitlines(), 1):
+        for match in INLINE_LINK.finditer(line):
+            target = match.group(1).strip("<>")
+            if SCHEME.match(target) or target.startswith("#"):
+                continue
+            resolved = os.path.normpath(
+                os.path.join(root, os.path.dirname(path),
+                             target.split("#", 1)[0]))
+            if not os.path.exists(resolved):
+                broken.append((lineno, target))
+    return broken
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else
+                           os.path.join(os.path.dirname(__file__), ".."))
+    failures = 0
+    files = tracked_markdown(root)
+    for path in files:
+        for lineno, target in check_file(root, path):
+            print(f"{path}:{lineno}: broken link -> {target}",
+                  file=sys.stderr)
+            failures += 1
+    print(f"check_links: {len(files)} markdown files scanned, "
+          f"{failures} broken link(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
