@@ -3,8 +3,15 @@
 // EventLog.  Two sections:
 //
 //   appender  EventLog::append throughput, T concurrent appender threads,
-//             seq_block = 1 (the per-event fetch_add baseline) vs the
-//             default block allocation.
+//             lock-free ring ingestion vs the spinlocked double-buffer
+//             baseline (Backend::kRing vs kLocked), rings sized to the row
+//             so throughput rows finish with events_lost == 0, plus one
+//             deliberately undersized single-ring row that exercises the
+//             overflow/loss contract (spill, then exact drop accounting).
+//             Rows where threads > hardware_concurrency are flagged
+//             `contended`: the committed baseline may come from a smaller
+//             machine, so CI skips throughput comparisons on such rows
+//             (but still gates losses and detections).
 //   pool      wl::run_multi_load at M ∈ --monitors for three engine
 //             shapes — per-item (max_batch = 1, the pre-batching loop),
 //             batched (default), batched+adaptive (--max-stretch) — with
@@ -58,16 +65,45 @@ bool parse_size_list(const std::string& csv, std::vector<std::size_t>* out) {
 }
 
 struct AppenderRow {
+  std::string impl;  ///< "ring" | "locked".
   std::size_t threads = 0;
-  std::uint64_t seq_block = 1;
-  std::uint64_t events = 0;
+  std::size_t shards = 0;
+  std::uint64_t events = 0;  ///< append() calls issued.
   double events_per_sec = 0.0;
+  std::uint64_t events_lost = 0;
+  bool contended = false;    ///< threads > hardware_concurrency.
+  bool expect_loss = false;  ///< Deliberately undersized overflow row.
+  bool accounting_ok = true; ///< accepted + lost == issued, drain == accepted.
 };
 
-AppenderRow bench_appenders(std::size_t threads, std::uint64_t seq_block,
-                            std::uint64_t events_per_thread) {
-  trace::EventLog log(/*retain_history=*/false, trace::EventLog::kDefaultShards,
-                      seq_block);
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// One appender row.  ring_capacity == 0 sizes the ring to hold the whole
+/// row (throughput measurement, zero losses expected); a nonzero capacity
+/// deliberately undersizes it to exercise the spill/loss contract.
+AppenderRow bench_appenders(const char* impl, std::size_t threads,
+                            std::size_t shards,
+                            std::uint64_t events_per_thread,
+                            std::size_t ring_capacity,
+                            std::size_t overflow_capacity, unsigned hardware) {
+  const bool ring = std::string(impl) == "ring";
+  trace::EventLog::Options options;
+  options.shards = shards;
+  options.backend = ring ? trace::EventLog::Backend::kRing
+                         : trace::EventLog::Backend::kLocked;
+  const std::uint64_t per_shard =
+      events_per_thread * ((threads + shards - 1) / shards);
+  options.ring_capacity = ring_capacity != 0
+                              ? ring_capacity
+                              : round_up_pow2(static_cast<std::size_t>(
+                                    per_shard + per_shard / 4 + 1));
+  options.overflow_capacity = overflow_capacity;
+  trace::EventLog log(options);
+
   std::vector<std::thread> workers;
   const auto started = std::chrono::steady_clock::now();
   for (std::size_t t = 0; t < threads; ++t) {
@@ -81,16 +117,24 @@ AppenderRow bench_appenders(std::size_t threads, std::uint64_t seq_block,
   }
   for (auto& worker : workers) worker.join();
   const auto finished = std::chrono::steady_clock::now();
-  (void)log.drain();
 
   AppenderRow row;
+  row.impl = impl;
   row.threads = threads;
-  row.seq_block = seq_block;
+  row.shards = shards;
   row.events = static_cast<std::uint64_t>(threads) * events_per_thread;
   const double seconds =
       std::chrono::duration<double>(finished - started).count();
   row.events_per_sec =
       seconds > 0 ? static_cast<double>(row.events) / seconds : 0.0;
+  row.events_lost = log.events_lost();
+  row.contended = hardware != 0 && threads > hardware;
+  row.expect_loss = ring_capacity != 0;
+  // The loss contract is exact: every issued append was either accepted
+  // (and drains exactly once) or counted lost — no silent drops, no dupes.
+  const std::uint64_t drained = log.drain().size();
+  row.accounting_ok = log.total_appended() + row.events_lost == row.events &&
+                      drained == log.total_appended() && log.pending() == 0;
   return row;
 }
 
@@ -136,21 +180,61 @@ int main(int argc, char** argv) {
   const unsigned hardware = std::thread::hardware_concurrency();
   std::printf("check_overhead: hardware concurrency = %u\n", hardware);
 
-  // --- Appender throughput. --------------------------------------------------
+  // --- Appender throughput: lock-free ring vs spinlocked baseline. -----------
   const auto appender_events =
       static_cast<std::uint64_t>(flags.i64("appender-events"));
   std::vector<AppenderRow> appender_rows;
-  std::printf("\n%10s %10s %14s %14s\n", "appenders", "seq-block",
-              "events", "events/s");
+  bool appender_failed = false;
+  std::printf("\n%10s %8s %7s %14s %14s %12s %10s\n", "appenders", "impl",
+              "shards", "events", "events/s", "events-lost", "flags");
+  const auto run_appender_row = [&](const char* impl, std::size_t threads,
+                                    std::size_t shards,
+                                    std::size_t ring_capacity,
+                                    std::size_t overflow_capacity) {
+    AppenderRow row =
+        bench_appenders(impl, threads, shards, appender_events, ring_capacity,
+                        overflow_capacity, hardware);
+    std::printf("%10zu %8s %7zu %14llu %14.0f %12llu %10s%s\n", row.threads,
+                row.impl.c_str(), row.shards,
+                static_cast<unsigned long long>(row.events),
+                row.events_per_sec,
+                static_cast<unsigned long long>(row.events_lost),
+                row.expect_loss ? "overflow" : (row.contended ? "contended"
+                                                              : "-"),
+                row.accounting_ok ? "" : "  ^ FAILED: loss accounting");
+    if (!row.accounting_ok ||
+        (!row.expect_loss && row.events_lost > 0)) {
+      appender_failed = true;
+    }
+    appender_rows.push_back(std::move(row));
+  };
   for (const std::size_t threads : appender_sweep) {
-    for (const std::uint64_t block :
-         {std::uint64_t{1}, trace::EventLog::kDefaultSeqBlock}) {
-      const AppenderRow row = bench_appenders(threads, block, appender_events);
-      appender_rows.push_back(row);
-      std::printf("%10zu %10llu %14llu %14.0f\n", row.threads,
-                  static_cast<unsigned long long>(row.seq_block),
-                  static_cast<unsigned long long>(row.events),
-                  row.events_per_sec);
+    const std::size_t shards =
+        std::min(threads, trace::EventLog::kDefaultShards);
+    run_appender_row("locked", threads, shards, 0, 0);
+    run_appender_row("ring", threads, shards, 0, 0);
+  }
+  // The overflow/loss-contract stress row: every appender contends on one
+  // deliberately undersized ring with a stalled drain, so the run must
+  // spill to the bounded overflow list and then drop *with accounting*.
+  const std::size_t stress_threads =
+      *std::max_element(appender_sweep.begin(), appender_sweep.end());
+  run_appender_row("ring", stress_threads, /*shards=*/1,
+                   /*ring_capacity=*/1 << 12, /*overflow_capacity=*/1 << 15);
+
+  // Headline ratio: ring vs locked at the widest thread count.
+  for (const std::size_t threads : appender_sweep) {
+    double locked = 0.0, ring_rate = 0.0;
+    for (const AppenderRow& row : appender_rows) {
+      if (row.threads != threads || row.expect_loss) continue;
+      (row.impl == "ring" ? ring_rate : locked) = row.events_per_sec;
+    }
+    if (locked > 0 && ring_rate > 0) {
+      std::printf("  ring/locked @ %zu threads: %.2fx%s\n", threads,
+                  ring_rate / locked,
+                  hardware != 0 && threads > hardware
+                      ? " (contended: threads > hardware concurrency)"
+                      : "");
     }
   }
 
@@ -270,6 +354,7 @@ int main(int argc, char** argv) {
   // --- Machine-readable artifact. --------------------------------------------
   std::size_t missed_total = 0, false_positive_total = 0;
   std::size_t potential_total = 0;
+  std::uint64_t pool_events_lost = 0;
   // The regression-gate summary only considers warm rows (enough checks to
   // amortize cold caches); a one-check M=1 row is a cold-start sample that
   // would inflate the baseline and de-fang the CI gate.
@@ -279,6 +364,7 @@ int main(int argc, char** argv) {
     missed_total += row.result.missed_detections;
     false_positive_total += row.result.false_positive_monitors;
     potential_total += row.result.potential_deadlocks;
+    pool_events_lost += row.result.events_lost;
     if (row.result.checks_run >= kWarmChecks) {
       max_per_check_ns = std::max(max_per_check_ns, row.per_check_ns);
     } else {
@@ -296,17 +382,22 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(out, "{\n");
-  std::fprintf(out, "  \"schema\": \"robmon-check-overhead-v1\",\n");
+  std::fprintf(out, "  \"schema\": \"robmon-check-overhead-v2\",\n");
   std::fprintf(out, "  \"hardware_concurrency\": %u,\n", hardware);
   std::fprintf(out, "  \"appender\": [\n");
   for (std::size_t i = 0; i < appender_rows.size(); ++i) {
     const AppenderRow& row = appender_rows[i];
     std::fprintf(out,
-                 "    {\"threads\": %zu, \"seq_block\": %llu, "
-                 "\"events\": %llu, \"events_per_sec\": %.0f}%s\n",
-                 row.threads, static_cast<unsigned long long>(row.seq_block),
+                 "    {\"impl\": \"%s\", \"threads\": %zu, \"shards\": %zu, "
+                 "\"events\": %llu, \"events_per_sec\": %.0f, "
+                 "\"events_lost\": %llu, \"contended\": %s, "
+                 "\"expect_loss\": %s}%s\n",
+                 row.impl.c_str(), row.threads, row.shards,
                  static_cast<unsigned long long>(row.events),
                  row.events_per_sec,
+                 static_cast<unsigned long long>(row.events_lost),
+                 row.contended ? "true" : "false",
+                 row.expect_loss ? "true" : "false",
                  i + 1 < appender_rows.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
@@ -320,7 +411,8 @@ int main(int argc, char** argv) {
         "\"per_check_ns\": %.0f, \"quiesce_us\": %.2f, "
         "\"dispatches\": %llu, \"dispatches_per_1k_checks\": %.1f, "
         "\"avg_batch\": %.2f, \"checks_coalesced\": %llu, "
-        "\"idle_checks\": %llu, \"ops_per_sec\": %.0f, "
+        "\"idle_checks\": %llu, \"events_lost\": %llu, "
+        "\"ops_per_sec\": %.0f, "
         "\"faults_expected\": %zu, \"faults_detected\": %zu, "
         "\"missed_detections\": %zu, \"false_positive_monitors\": %zu, "
         "\"lockorder_checkpoints\": %llu, "
@@ -330,7 +422,8 @@ int main(int argc, char** argv) {
         r.avg_quiesce_us, static_cast<unsigned long long>(r.dispatches),
         r.dispatches_per_1k_checks, r.avg_batch,
         static_cast<unsigned long long>(r.checks_coalesced),
-        static_cast<unsigned long long>(r.idle_checks), r.ops_per_second,
+        static_cast<unsigned long long>(r.idle_checks),
+        static_cast<unsigned long long>(r.events_lost), r.ops_per_second,
         r.faults_expected, r.faulty_detected, r.missed_detections,
         r.false_positive_monitors,
         static_cast<unsigned long long>(r.lockorder_checkpoints),
@@ -355,6 +448,10 @@ int main(int argc, char** argv) {
   std::fprintf(out, "    \"false_positive_monitors\": %zu,\n",
                false_positive_total);
   std::fprintf(out, "    \"potential_deadlocks\": %zu,\n", potential_total);
+  std::fprintf(out, "    \"pool_events_lost\": %llu,\n",
+               static_cast<unsigned long long>(pool_events_lost));
+  std::fprintf(out, "    \"appender_failures\": %zu,\n",
+               static_cast<std::size_t>(appender_failed ? 1 : 0));
   std::fprintf(out, "    \"recovery_failures\": %zu,\n",
                static_cast<std::size_t>(recovery_failed ? 1 : 0));
   std::fprintf(out, "    \"max_per_check_ns\": %.0f\n", max_per_check_ns);
@@ -363,14 +460,24 @@ int main(int argc, char** argv) {
   std::fclose(out);
   std::printf("\ncheck_overhead: wrote %s\n", out_path.c_str());
 
+  if (appender_failed) {
+    std::printf("check_overhead: appender loss-contract FAILURES above\n");
+    return 1;
+  }
   if (detection_failed) {
     std::printf("check_overhead: detection FAILURES above\n");
+    return 1;
+  }
+  if (pool_events_lost > 0) {
+    std::printf("check_overhead: FAILED: %llu events lost across pool rows "
+                "(drain cadence must keep up; expected 0)\n",
+                static_cast<unsigned long long>(pool_events_lost));
     return 1;
   }
   if (recovery_failed) {
     std::printf("check_overhead: recovery contract FAILURES above\n");
     return 1;
   }
-  std::printf("check_overhead: zero missed detections in every shape\n");
+  std::printf("check_overhead: zero missed detections, zero events lost\n");
   return 0;
 }

@@ -719,6 +719,15 @@ std::vector<trace::RecoveryRecord> CheckerPool::recovery_log() const {
   return recovery_log_;
 }
 
+std::uint64_t CheckerPool::events_lost() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t lost = 0;
+  for (const auto& [id, entry] : entries_) {
+    if (entry->monitor != nullptr) lost += entry->monitor->log().events_lost();
+  }
+  return lost;
+}
+
 void CheckerPool::run_checkpoint_item_locked(
     std::unique_lock<std::mutex>& lock, MonitorId id) {
   heap_.pop();  // this worker owns the pass; re-pushed when done

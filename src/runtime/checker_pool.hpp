@@ -311,6 +311,13 @@ class CheckerPool {
   std::uint64_t total_check_ns() const {
     return total_check_ns_.load(std::memory_order_relaxed);
   }
+  /// Events dropped by the registered monitors' EventLogs under the
+  /// ring-overflow contract (sum of EventLog::events_lost() over every
+  /// currently registered monitor).  A healthy pool keeps this at 0: the
+  /// periodic drain empties each ring well inside its capacity.  Non-zero
+  /// means ingestion outran checking and the loss accounting — not silent
+  /// gaps — absorbed the difference.
+  std::uint64_t events_lost() const;
 
   /// Wait-for checkpoint passes executed (periodic + run_waitfor_checkpoint).
   std::uint64_t waitfor_checkpoints() const {

@@ -43,13 +43,15 @@ EventKind kind_from_code(char code, std::size_t line_no) {
 }  // namespace
 
 void write_trace(std::ostream& out, const TraceFile& trace) {
-  // v4 adds `rcov` recovery-action lines; v3 adds `lord` lock-order-witness
-  // lines; v2 appends the episode ticket as a trailing field on
-  // state/eq/cq/hold lines.  Older documents (no rcov/lord lines, no
-  // tickets) still parse, with the absent data defaulted.
-  out << "robmon-trace v4\n";
+  // v5 adds the `loss` ingestion-loss line (omitted when zero); v4 adds
+  // `rcov` recovery-action lines; v3 adds `lord` lock-order-witness lines;
+  // v2 appends the episode ticket as a trailing field on state/eq/cq/hold
+  // lines.  Older documents (no loss/rcov/lord lines, no tickets) still
+  // parse, with the absent data defaulted.
+  out << "robmon-trace v5\n";
   out << "monitor " << trace.monitor_name << " " << trace.monitor_type << " "
       << trace.rmax << "\n";
+  if (trace.events_lost > 0) out << "loss " << trace.events_lost << "\n";
   for (std::size_t i = 0; i < trace.symbols.size(); ++i) {
     out << "sym " << i << " " << trace.symbols[i] << "\n";
   }
@@ -114,8 +116,9 @@ TraceFile read_trace(std::istream& in) {
 
   if (!std::getline(in, line)) parse_error(1, "empty trace");
   ++line_no;
-  if (line != "robmon-trace v4" && line != "robmon-trace v3" &&
-      line != "robmon-trace v2" && line != "robmon-trace v1") {
+  if (line != "robmon-trace v5" && line != "robmon-trace v4" &&
+      line != "robmon-trace v3" && line != "robmon-trace v2" &&
+      line != "robmon-trace v1") {
     parse_error(1, "bad magic: " + line);
   }
 
@@ -136,6 +139,9 @@ TraceFile read_trace(std::istream& in) {
     fields >> tag;
     if (tag == "monitor") {
       fields >> trace.monitor_name >> trace.monitor_type >> trace.rmax;
+    } else if (tag == "loss") {
+      fields >> trace.events_lost;
+      if (fields.fail()) parse_error(line_no, "bad loss line");
     } else if (tag == "sym") {
       std::size_t id = 0;
       std::string name;
@@ -235,11 +241,13 @@ TraceFile make_trace_file(const std::string& monitor_name,
                           const std::string& monitor_type, std::int64_t rmax,
                           const SymbolTable& symbols,
                           const std::vector<EventRecord>& events,
-                          const std::vector<SchedulingState>& checkpoints) {
+                          const std::vector<SchedulingState>& checkpoints,
+                          std::uint64_t events_lost) {
   TraceFile trace;
   trace.monitor_name = monitor_name;
   trace.monitor_type = monitor_type;
   trace.rmax = rmax;
+  trace.events_lost = events_lost;
   trace.symbols.reserve(symbols.size());
   for (std::size_t i = 0; i < symbols.size(); ++i) {
     trace.symbols.push_back(symbols.name(static_cast<SymbolId>(i)));

@@ -57,6 +57,11 @@ struct TraceFile {
   std::string monitor_name;
   std::string monitor_type;  ///< "coordinator" | "allocator" | "manager".
   std::int64_t rmax = -1;
+  /// Events the recorder's EventLog dropped under its overflow contract
+  /// (v5 `loss` line; 0 — and the line omitted — for lossless recordings
+  /// and for pre-v5 documents).  Non-zero warns offline consumers that
+  /// the event stream has accounted gaps beyond retired seq blocks.
+  std::uint64_t events_lost = 0;
   std::vector<std::string> symbols;  ///< index = SymbolId.
   std::vector<EventRecord> events;
   std::vector<SchedulingState> checkpoints;
@@ -67,25 +72,28 @@ struct TraceFile {
   std::vector<RecoveryRecord> recovery;
 };
 
-/// Serialize to the robmon-trace v4 text format (v3 plus `rcov`
-/// recovery-action lines; v3 is v2 plus `lord` lock-order-witness lines;
-/// v2 itself is v1 plus per-entry episode tickets on state/eq/cq/hold
-/// lines).  docs/trace-format.md documents every line shape.
+/// Serialize to the robmon-trace v5 text format (v4 plus the `loss`
+/// ingestion-loss-accounting line; v4 is v3 plus `rcov` recovery-action
+/// lines; v3 is v2 plus `lord` lock-order-witness lines; v2 itself is v1
+/// plus per-entry episode tickets on state/eq/cq/hold lines).
+/// docs/trace-format.md documents every line shape.
 void write_trace(std::ostream& out, const TraceFile& trace);
 std::string write_trace_string(const TraceFile& trace);
 
-/// Parse a robmon-trace v1, v2, v3 or v4 document (v1 entries get ticket 0;
-/// v1/v2 documents have an empty lock-order relation, pre-v4 documents an
-/// empty recovery log).  Throws std::runtime_error with a line-numbered
-/// message on malformed input.
+/// Parse a robmon-trace v1–v5 document (v1 entries get ticket 0; v1/v2
+/// documents have an empty lock-order relation, pre-v4 documents an empty
+/// recovery log, pre-v5 documents a zero loss count).  Throws
+/// std::runtime_error with a line-numbered message on malformed input.
 TraceFile read_trace(std::istream& in);
 TraceFile read_trace_string(const std::string& text);
 
-/// Build a TraceFile from live recording state.
+/// Build a TraceFile from live recording state.  `events_lost` is the
+/// recording EventLog's drop count (EventLog::events_lost()).
 TraceFile make_trace_file(const std::string& monitor_name,
                           const std::string& monitor_type, std::int64_t rmax,
                           const SymbolTable& symbols,
                           const std::vector<EventRecord>& events,
-                          const std::vector<SchedulingState>& checkpoints);
+                          const std::vector<SchedulingState>& checkpoints,
+                          std::uint64_t events_lost = 0);
 
 }  // namespace robmon::trace

@@ -348,6 +348,7 @@ MultiLoadResult run_multi_load(const MultiLoadOptions& options) {
     check_ns += engine->total_check_ns();
     result.dispatches += engine->dispatches();
     result.checks_coalesced += engine->checks_coalesced();
+    result.events_lost += engine->events_lost();
   }
   for (std::size_t i = 0; i < monitor_count; ++i) {
     result.idle_checks += monitors[i]->detector().idle_checks();

@@ -93,6 +93,10 @@ struct MultiLoadResult {
   std::uint64_t checks_run = 0;       ///< Periodic + final, all monitors.
   double checks_per_second = 0.0;
   std::uint64_t events_recorded = 0;
+  /// Events dropped under the EventLog overflow contract, summed over all
+  /// monitors (CheckerPool::events_lost).  Must be 0 when the drain
+  /// cadence keeps up — the bench gates on it.
+  std::uint64_t events_lost = 0;
   std::size_t checker_threads = 0;    ///< Detection threads provisioned.
   double avg_quiesce_us = 0.0;        ///< Gate-exclusive window per check.
   double avg_check_us = 0.0;          ///< Full checking routine per check.

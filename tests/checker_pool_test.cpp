@@ -49,6 +49,9 @@ TEST(CheckerPoolTest, CheckNowNeedsNoWorkerThreads) {
   EXPECT_EQ(sink.count(), 0u);
   EXPECT_EQ(pool.thread_count(), 0u);  // never scheduled: no workers spawned
   EXPECT_EQ(pool.checks_executed(), 1u);
+  // Ring-ingestion loss introspection: a drained, uncontended monitor log
+  // lost nothing.
+  EXPECT_EQ(pool.events_lost(), 0u);
 }
 
 TEST(CheckerPoolTest, DeadlineOrderingFollowsPerMonitorPeriods) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <mutex>
+#include <new>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -259,6 +260,99 @@ TEST(EventLogTest, SingleShardSerializedAppendsKeepTotalOrder) {
   }
 }
 
+TEST(EventLogTest, StaleThreadCacheNeverResolvesToDeadShard) {
+  // The per-thread shard cache is keyed by log id, not address: destroy a
+  // log, construct a new one at the same address, and this thread's cached
+  // (now dangling) shard pointer must not resolve for the new log.
+  alignas(EventLog) unsigned char storage[sizeof(EventLog)];
+  EventLog* log = new (storage) EventLog();
+  log->append(EventRecord::enter(1, 0, true, 10));  // warms the cache
+  log->~EventLog();
+  EventLog* reborn = new (storage) EventLog();
+  EXPECT_EQ(reborn->total_appended(), 0u);
+  reborn->append(EventRecord::enter(2, 0, true, 20));
+  EXPECT_EQ(reborn->total_appended(), 1u);
+  const auto segment = reborn->drain();
+  ASSERT_EQ(segment.size(), 1u);
+  EXPECT_EQ(segment[0].pid, 2);
+  EXPECT_EQ(segment[0].seq, 0u);  // fresh log, fresh sequence space
+  reborn->~EventLog();
+}
+
+TEST(EventLogTest, OverflowSpillsThenDropsWithExactAccounting) {
+  EventLog::Options options;
+  options.shards = 1;
+  options.ring_capacity = 8;
+  options.overflow_capacity = 4;
+  EventLog log(options);
+  for (int i = 0; i < 20; ++i) {
+    log.append(EventRecord::enter(1, 0, true, i));
+  }
+  // 8 fill the ring, 4 spill to the bounded overflow list, 8 drop — and
+  // every drop is counted: accepted + lost == issued.
+  EXPECT_EQ(log.total_appended(), 12u);
+  EXPECT_EQ(log.events_lost(), 8u);
+  const auto drained = log.drain();
+  ASSERT_EQ(drained.size(), 12u);
+  for (std::size_t i = 1; i < drained.size(); ++i) {
+    EXPECT_LT(drained[i - 1].seq, drained[i].seq);
+  }
+  EXPECT_EQ(log.pending(), 0u);
+  // The ring is reusable after the drain; the loss counter is cumulative.
+  log.append(EventRecord::enter(1, 0, true, 99));
+  EXPECT_EQ(log.total_appended(), 13u);
+  EXPECT_EQ(log.events_lost(), 8u);
+}
+
+TEST(EventLogTest, ConcurrentOverflowAccountingIsExactUnderStalledDrain) {
+  // Appender threads race into one deliberately undersized shard while no
+  // drain runs (a stalled consumer).  The overflow contract under
+  // contention: every append is either accepted — and drains exactly once
+  // — or counted lost.  No silent drops, no duplicates.
+  EventLog::Options options;
+  options.shards = 1;
+  options.ring_capacity = 64;
+  options.overflow_capacity = 64;
+  EventLog log(options);
+  constexpr std::uint64_t kThreads = 4;
+  constexpr std::uint64_t kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (std::uint64_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        log.append(EventRecord::enter(static_cast<Pid>(t), 0, true,
+                                      static_cast<long>(i)));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  constexpr std::uint64_t kIssued = kThreads * kPerThread;
+  EXPECT_EQ(log.total_appended() + log.events_lost(), kIssued);
+  EXPECT_GT(log.events_lost(), 0u);  // 128 slots cannot hold 4000 events
+  const auto drained = log.drain();
+  EXPECT_EQ(drained.size(), log.total_appended());
+  for (std::size_t i = 1; i < drained.size(); ++i) {
+    ASSERT_LT(drained[i - 1].seq, drained[i].seq) << "duplicate seq";
+  }
+  EXPECT_EQ(log.pending(), 0u);
+  // Accepting resumes once the drain frees the ring.
+  log.append(EventRecord::enter(0, 0, true, 0));
+  EXPECT_EQ(log.drain().size(), 1u);
+}
+
+TEST(EventLogTest, LockedBackendStillDrainsLosslessly) {
+  EventLog::Options options;
+  options.backend = EventLog::Backend::kLocked;
+  EventLog log(options);
+  EXPECT_EQ(log.backend(), EventLog::Backend::kLocked);
+  for (int i = 0; i < 100; ++i) {
+    log.append(EventRecord::enter(1, 0, true, i));
+  }
+  EXPECT_EQ(log.events_lost(), 0u);
+  EXPECT_EQ(log.drain().size(), 100u);
+  EXPECT_EQ(log.pending(), 0u);
+}
+
 SchedulingState sample_state() {
   SchedulingState state;
   state.captured_at = 1000;
@@ -361,14 +455,14 @@ TEST(CodecTest, ReadsV1TracesWithoutTickets) {
   EXPECT_EQ(state.holders[0].ticket, 0u);
 }
 
-TEST(CodecTest, WritesV4WithTickets) {
+TEST(CodecTest, WritesV5WithTickets) {
   TraceFile original;
   original.monitor_name = "m";
   original.monitor_type = "manager";
   original.rmax = -1;
   original.checkpoints.push_back(sample_state());
   const std::string text = write_trace_string(original);
-  EXPECT_EQ(text.rfind("robmon-trace v4\n", 0), 0u);
+  EXPECT_EQ(text.rfind("robmon-trace v5\n", 0), 0u);
   const TraceFile parsed = read_trace_string(text);
   ASSERT_EQ(parsed.checkpoints.size(), 1u);
   EXPECT_EQ(parsed.checkpoints[0].running_ticket, 9u);
@@ -427,6 +521,37 @@ TEST(CodecTest, V3DocumentsParseWithEmptyRecovery) {
   EXPECT_EQ(parsed.lock_order.size(), 1u);
 }
 
+TEST(CodecTest, LossCountRoundTrips) {
+  TraceFile original;
+  original.monitor_name = "m";
+  original.monitor_type = "manager";
+  original.rmax = -1;
+  original.events_lost = 42;
+  const std::string text = write_trace_string(original);
+  EXPECT_NE(text.find("loss 42\n"), std::string::npos);
+  EXPECT_EQ(read_trace_string(text).events_lost, 42u);
+}
+
+TEST(CodecTest, ZeroLossOmitsTheLineAndOlderDocumentsDefaultToZero) {
+  // A loss-free trace writes no loss line, so v5 documents from healthy
+  // runs differ from v4 only in the magic; v1–v4 documents (no loss tag)
+  // parse with events_lost == 0.
+  TraceFile original;
+  original.monitor_name = "m";
+  original.monitor_type = "manager";
+  original.rmax = -1;
+  EXPECT_EQ(write_trace_string(original).find("loss"), std::string::npos);
+  const std::string v4 =
+      "robmon-trace v4\n"
+      "monitor m manager -1\n";
+  EXPECT_EQ(read_trace_string(v4).events_lost, 0u);
+}
+
+TEST(CodecTest, RejectsBadLossLine) {
+  EXPECT_THROW(read_trace_string("robmon-trace v5\nloss nope\n"),
+               std::runtime_error);
+}
+
 TEST(CodecTest, RejectsBadRecoveryLine) {
   EXPECT_THROW(read_trace_string("robmon-trace v4\nrcov X 1 m 0 0 why\n"),
                std::runtime_error);
@@ -438,7 +563,7 @@ TEST(CodecTest, DocumentedExampleParses) {
   // The worked round-trip example of docs/trace-format.md, verbatim: if
   // this document shape ever stops parsing, the docs are lying.
   const std::string documented =
-      "robmon-trace v4\n"
+      "robmon-trace v5\n"
       "monitor fork-1 allocator 1\n"
       "sym 0 Acquire\n"
       "sym 1 Release\n"
