@@ -23,6 +23,15 @@
 //             reports the detection-to-action latency and enforces the
 //             liveness contract (completion, exactly one action, zero
 //             false positives).
+//   budget    wl::run_budget_spike: a closed-loop three-phase scenario
+//             (calm baseline, 10× load spike, subsided post phase) against
+//             a pool with a global detection budget.  Gates: measured
+//             spike-phase detection spend ≤ 1.5× the configured budget,
+//             the ladder reached at least kShedPrediction (prediction was
+//             shed, detection never), every logged transition chains ±1
+//             (shed order structural), wait-for detection kept running
+//             through the spike, post-spike recovery to kNominal, and the
+//             usual zero missed detections / false positives / lost events.
 //
 // Emits --out (default BENCH_check_overhead.json); exits non-zero if any
 // injected fault is missed or any clean monitor reports one, so CI can use
@@ -164,6 +173,13 @@ int main(int argc, char** argv) {
   flags.define("appender-threads", "1,8",
                "comma-separated appender thread counts");
   flags.define("appender-events", "200000", "events per appender thread");
+  flags.define("budget-fraction", "0.0035",
+               "global detection budget for the spike scenario "
+               "(fraction of wall-clock; calibrated defaults in "
+               "wl::BudgetSpikeOptions)");
+  flags.define("budget-phases-ms", "700,1500,1200",
+               "baseline,spike,post phase durations for the budget "
+               "scenario");
   flags.define("out", "BENCH_check_overhead.json",
                "machine-readable results file");
   if (!flags.parse(argc, argv)) return 1;
@@ -351,6 +367,61 @@ int main(int argc, char** argv) {
     recovery_rows.push_back(std::move(row));
   }
 
+  // --- Budget spike: global detection budget under a 10× load spike. ---------
+  std::vector<std::size_t> budget_phases;
+  if (!parse_size_list(flags.str("budget-phases-ms"), &budget_phases) ||
+      budget_phases.size() != 3) {
+    std::fprintf(stderr,
+                 "--budget-phases-ms must be baseline,spike,post (ms)\n");
+    return 1;
+  }
+  wl::BudgetSpikeOptions budget_options;
+  budget_options.budget.fraction = flags.f64("budget-fraction");
+  budget_options.baseline_ns =
+      static_cast<util::TimeNs>(budget_phases[0]) * util::kMillisecond;
+  budget_options.spike_ns =
+      static_cast<util::TimeNs>(budget_phases[1]) * util::kMillisecond;
+  budget_options.post_ns =
+      static_cast<util::TimeNs>(budget_phases[2]) * util::kMillisecond;
+  const wl::BudgetSpikeResult budget = wl::run_budget_spike(budget_options);
+
+  // The spike-phase contract: measured detection spend within 1.5× of the
+  // configured budget while degraded, prediction shed before any detection
+  // widening (±1 ladder steps only), confirmed-cycle detection alive
+  // throughout, and a symmetric descent to nominal once load subsides.
+  const double spike_limit = 1.5 * budget.budget_fraction;
+  std::size_t budget_failures = 0;
+  const auto budget_gate = [&](bool ok, const char* what) {
+    if (!ok) {
+      std::printf("  ^ budget FAILED: %s\n", what);
+      ++budget_failures;
+    }
+  };
+  std::printf("\n%8s %10s %10s %10s %6s %6s %7s %7s\n", "budget", "baseline",
+              "spike", "post", "max", "final", "trans", "sheds");
+  std::printf("%7.2f%% %9.3f%% %9.3f%% %9.3f%% %6d %6d %7llu %7llu\n",
+              budget.budget_fraction * 100.0, budget.baseline_spend * 100.0,
+              budget.spike_spend * 100.0, budget.post_spend * 100.0,
+              budget.max_level, budget.final_level,
+              static_cast<unsigned long long>(budget.transitions),
+              static_cast<unsigned long long>(budget.prediction_sheds));
+  budget_gate(budget.spike_spend <= spike_limit,
+              "spike-phase spend exceeds 1.5x the configured budget");
+  budget_gate(budget.max_level >=
+                  static_cast<int>(rt::BudgetLevel::kShedPrediction),
+              "spike never drove the ladder to the prediction shed");
+  budget_gate(budget.shed_order_ok,
+              "transition log violates the fixed shed/recovery order");
+  budget_gate(budget.recovered,
+              "controller did not return to nominal after the spike");
+  budget_gate(budget.waitfor_passes_during_spike > 0,
+              "wait-for detection stalled during the spike");
+  budget_gate(budget.missed_detections == 0,
+              "injected fault missed under budget degradation");
+  budget_gate(budget.false_positive_monitors == 0,
+              "clean monitor reported a fault");
+  budget_gate(budget.events_lost == 0, "events lost during the spike");
+
   // --- Machine-readable artifact. --------------------------------------------
   std::size_t missed_total = 0, false_positive_total = 0;
   std::size_t potential_total = 0;
@@ -382,7 +453,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(out, "{\n");
-  std::fprintf(out, "  \"schema\": \"robmon-check-overhead-v2\",\n");
+  std::fprintf(out, "  \"schema\": \"robmon-check-overhead-v3\",\n");
   std::fprintf(out, "  \"hardware_concurrency\": %u,\n", hardware);
   std::fprintf(out, "  \"appender\": [\n");
   for (std::size_t i = 0; i < appender_rows.size(); ++i) {
@@ -443,6 +514,36 @@ int main(int argc, char** argv) {
                  i + 1 < recovery_rows.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"budget\": {\n");
+  std::fprintf(out, "    \"fraction\": %.6f,\n", budget.budget_fraction);
+  std::fprintf(out, "    \"baseline_spend\": %.6f,\n", budget.baseline_spend);
+  std::fprintf(out, "    \"spike_spend\": %.6f,\n", budget.spike_spend);
+  std::fprintf(out, "    \"post_spend\": %.6f,\n", budget.post_spend);
+  std::fprintf(out, "    \"spike_limit\": %.6f,\n", spike_limit);
+  std::fprintf(out, "    \"max_level\": %d,\n", budget.max_level);
+  std::fprintf(out, "    \"final_level\": %d,\n", budget.final_level);
+  std::fprintf(out, "    \"transitions\": %llu,\n",
+               static_cast<unsigned long long>(budget.transitions));
+  std::fprintf(out, "    \"prediction_sheds\": %llu,\n",
+               static_cast<unsigned long long>(budget.prediction_sheds));
+  std::fprintf(out, "    \"inline_checks\": %llu,\n",
+               static_cast<unsigned long long>(budget.inline_checks));
+  std::fprintf(out, "    \"inline_flips\": %llu,\n",
+               static_cast<unsigned long long>(budget.inline_flips));
+  std::fprintf(out, "    \"shed_order_ok\": %s,\n",
+               budget.shed_order_ok ? "true" : "false");
+  std::fprintf(out, "    \"recovered\": %s,\n",
+               budget.recovered ? "true" : "false");
+  std::fprintf(out, "    \"waitfor_passes_during_spike\": %llu,\n",
+               static_cast<unsigned long long>(
+                   budget.waitfor_passes_during_spike));
+  std::fprintf(out, "    \"missed_detections\": %zu,\n",
+               budget.missed_detections);
+  std::fprintf(out, "    \"false_positive_monitors\": %zu,\n",
+               budget.false_positive_monitors);
+  std::fprintf(out, "    \"events_lost\": %llu\n",
+               static_cast<unsigned long long>(budget.events_lost));
+  std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"summary\": {\n");
   std::fprintf(out, "    \"missed_detections\": %zu,\n", missed_total);
   std::fprintf(out, "    \"false_positive_monitors\": %zu,\n",
@@ -454,6 +555,7 @@ int main(int argc, char** argv) {
                static_cast<std::size_t>(appender_failed ? 1 : 0));
   std::fprintf(out, "    \"recovery_failures\": %zu,\n",
                static_cast<std::size_t>(recovery_failed ? 1 : 0));
+  std::fprintf(out, "    \"budget_failures\": %zu,\n", budget_failures);
   std::fprintf(out, "    \"max_per_check_ns\": %.0f\n", max_per_check_ns);
   std::fprintf(out, "  }\n");
   std::fprintf(out, "}\n");
@@ -476,6 +578,11 @@ int main(int argc, char** argv) {
   }
   if (recovery_failed) {
     std::printf("check_overhead: recovery contract FAILURES above\n");
+    return 1;
+  }
+  if (budget_failures > 0) {
+    std::printf("check_overhead: %zu budget contract FAILURES above\n",
+                budget_failures);
     return 1;
   }
   std::printf("check_overhead: zero missed detections, zero events lost\n");

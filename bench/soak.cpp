@@ -18,6 +18,16 @@
 //             control with recovery attached: every deadlocked ring must
 //             COMPLETE with exactly one recovery action, the control must
 //             draw zero actions, and clean rings must never be touched.
+//   budget    (--budget=true, the nightly matrix's budget mode)
+//             wl::run_budget_spike: a calm baseline, a 10× load spike, and
+//             a subsided post-phase under the pool's overhead budget.  Any
+//             shed-order violation (prediction must be shed before
+//             detection periods widen; confirmed-cycle detection is never
+//             shed — wait-for passes must continue through the spike),
+//             post-spike non-recovery, missed injected-fault detection at
+//             any degradation level, or report against a clean monitor
+//             fails.  Spend magnitudes are NOT gated here — TSan skews
+//             them — only the controller's ordering and liveness contract.
 //
 // Exits non-zero on any scorecard failure, so the nightly job needs no
 // output parsing; under TSan, a data race aborts the binary (halt_on_error)
@@ -31,6 +41,14 @@
 #include "workloads/dining.hpp"
 #include "workloads/gate_crossing.hpp"
 #include "workloads/loadgen.hpp"
+
+#if defined(__SANITIZE_THREAD__)
+#define ROBMON_SOAK_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define ROBMON_SOAK_TSAN 1
+#endif
+#endif
 
 using namespace robmon;
 
@@ -62,13 +80,17 @@ int main(int argc, char** argv) {
   flags.define("recovery", "false",
                "also soak the recovery engine (poison / fault / order "
                "remedies + zero-action control)");
+  flags.define("budget", "false",
+               "also soak the overhead-budget controller (spike scenario: "
+               "shed order, post-spike recovery, detection liveness)");
   flags.define("out", "soak_report.json", "machine-readable summary");
   if (!flags.parse(argc, argv)) return 1;
 
   const double budget = static_cast<double>(flags.i64("seconds"));
   const bool soak_recovery = flags.boolean("recovery");
+  const bool soak_budget = flags.boolean("budget");
   const auto started = std::chrono::steady_clock::now();
-  Scorecard multi, dining, gate, recovery;
+  Scorecard multi, dining, gate, recovery, spike;
 
   // Every family runs at least once, budget notwithstanding: a "soak" that
   // can pass while skipping a scenario gates nothing.
@@ -174,28 +196,57 @@ int main(int argc, char** argv) {
           control.potential_deadlocks;
     }
 
+    // --- budget: degrade in shed order under a 10× spike, then recover. ----
+    if (soak_budget) {
+      wl::BudgetSpikeOptions options;
+#ifdef ROBMON_SOAK_TSAN
+      // TSan inflates absolute detection spend ~6×, which would park the
+      // controller above the default calibration's recovery threshold
+      // forever.  The ordering/recovery contract being gated here is
+      // threshold-independent, so scale the budget to TSan's cost level:
+      // the calm phases still sit clearly below it and the spike clearly
+      // above, and the full ladder is still exercised.
+      options.budget.fraction = 0.025;
+#endif
+      const wl::BudgetSpikeResult result = wl::run_budget_spike(options);
+      ++spike.iterations;
+      // "Missed" here covers the whole controller contract, not just fault
+      // detections: a shed-order violation, a controller stuck degraded
+      // after load subsides, or a spike window with zero wait-for passes is
+      // expected behaviour that never came.
+      spike.missed += result.missed_detections;
+      if (!result.shed_order_ok) ++spike.missed;
+      if (!result.recovered) ++spike.missed;
+      if (result.waitfor_passes_during_spike == 0) ++spike.missed;
+      spike.false_positives += result.false_positive_monitors;
+      spike.operations += result.operations;
+    }
+
     std::printf(
-        "soak %6.1fs: multi x%llu dining x%llu gate x%llu recovery x%llu — "
-        "missed %llu, false positives %llu\n",
+        "soak %6.1fs: multi x%llu dining x%llu gate x%llu recovery x%llu "
+        "budget x%llu — missed %llu, false positives %llu\n",
         seconds_since(started),
         static_cast<unsigned long long>(multi.iterations),
         static_cast<unsigned long long>(dining.iterations),
         static_cast<unsigned long long>(gate.iterations),
         static_cast<unsigned long long>(recovery.iterations),
+        static_cast<unsigned long long>(spike.iterations),
         static_cast<unsigned long long>(multi.missed + dining.missed +
-                                        gate.missed + recovery.missed),
+                                        gate.missed + recovery.missed +
+                                        spike.missed),
         static_cast<unsigned long long>(multi.false_positives +
                                         dining.false_positives +
                                         gate.false_positives +
-                                        recovery.false_positives));
+                                        recovery.false_positives +
+                                        spike.false_positives));
     std::fflush(stdout);
   }
 
   const bool passed = multi.clean() && dining.clean() && gate.clean() &&
-                      recovery.clean();
+                      recovery.clean() && spike.clean();
   const std::string out_path = flags.str("out");
   if (std::FILE* out = std::fopen(out_path.c_str(), "w")) {
-    std::fprintf(out, "{\n  \"schema\": \"robmon-soak-v1\",\n");
+    std::fprintf(out, "{\n  \"schema\": \"robmon-soak-v2\",\n");
     std::fprintf(out, "  \"seconds\": %.1f,\n", seconds_since(started));
     const auto emit = [out](const char* name, const Scorecard& card,
                             const char* trailing) {
@@ -211,6 +262,7 @@ int main(int argc, char** argv) {
     emit("dining", dining, ",");
     emit("gate", gate, ",");
     emit("recovery", recovery, ",");
+    emit("budget", spike, ",");
     std::fprintf(out, "  \"passed\": %s\n}\n", passed ? "true" : "false");
     std::fclose(out);
   }

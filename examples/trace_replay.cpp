@@ -6,10 +6,11 @@
 //   ./trace_replay --mode=replay --file=/tmp/run.trace
 //
 // Record mode runs a producer/consumer workload with full trace retention
-// (optionally with an injected fault) and writes the robmon-trace v3 file;
-// replay mode re-runs Algorithms 1-3 over every recorded checkpoint and —
-// when the document carries a persisted acquisition-order relation —
-// re-derives the lock-order prediction warnings offline.
+// (optionally with an injected fault) and writes the trace file; replay mode
+// re-runs Algorithms 1-3 over every recorded checkpoint and — when the
+// document carries them — re-derives lock-order prediction warnings from the
+// persisted order relation, re-states recovery actions, and re-states the
+// overhead-budget controller's shed/recover transitions.
 #include <cstdio>
 #include <fstream>
 #include <thread>
@@ -122,6 +123,22 @@ int replay(const std::string& path) {
                   verb, record.monitor.empty() ? "-" : record.monitor.c_str(),
                   record.victim,
                   static_cast<unsigned long long>(record.ticket),
+                  record.detail.c_str());
+    }
+  }
+
+  // v6 documents may carry the overhead-budget controller's transition log:
+  // re-state the shed ladder so a reader can see what detection coverage was
+  // active at any point in the recording (the `detail` field says what each
+  // step shed or restored).
+  if (!file.budget.empty()) {
+    std::printf("budget transitions: %zu\n", file.budget.size());
+    for (const auto& record : file.budget) {
+      std::printf("  [%d -> %d] at %lld, spend %.3f%% of a %.3f%% budget: %s\n",
+                  record.from, record.to,
+                  static_cast<long long>(record.at),
+                  static_cast<double>(record.spend_ppm) / 10000.0,
+                  static_cast<double>(record.budget_ppm) / 10000.0,
                   record.detail.c_str());
     }
   }

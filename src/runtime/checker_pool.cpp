@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <ctime>
 #include <optional>
 #include <stdexcept>
 
@@ -24,6 +25,22 @@ util::TimeNs wall_now() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+/// Budgeted check cost is measured on the *thread CPU* clock, not the wall
+/// clock: a batch preempted mid-flight on a contended box would otherwise
+/// charge the scheduler's time slice to the detection budget and drive
+/// spurious degradation.  The spend window itself stays wall-clock (the
+/// budget is "checking cycles per wall-clock second").  Falls back to the
+/// wall clock where no thread CPU clock exists.
+util::TimeNs cpu_now() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<util::TimeNs>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+  }
+#endif
+  return wall_now();
 }
 
 std::size_t clamp_threads(std::size_t requested) {
@@ -52,7 +69,8 @@ CheckerPool::CheckerPool(Options options)
                                        kMinPeriodNs)
                             : 0),
       lockorder_sink_(options.lockorder_sink),
-      recovery_(options.recovery) {
+      recovery_(options.recovery),
+      budget_(options.budget) {
   if (waitfor_period_ > 0 && waitfor_sink_ == nullptr) {
     throw std::invalid_argument(
         "CheckerPool: waitfor_checkpoint_period set without a waitfor_sink");
@@ -135,7 +153,12 @@ void CheckerPool::schedule(MonitorId id) {
   entry.stretch = 1.0;
   entry.ewma_events = 0.0;
   entry.effective_period = entry.period;
-  heap_.push({wall_now() + entry.period, id, entry.generation});
+  // Inline monitors stay off the worker heap — their call sites poll
+  // check_inline() — unless budget pressure has offloaded them.
+  if (entry.options.instrumentation == CheckInstrumentation::kOffloaded ||
+      inline_offloaded_.load(std::memory_order_relaxed)) {
+    heap_.push({wall_now() + entry.period, id, entry.generation});
+  }
   if (waitfor_enabled() && !checkpoint_scheduled_) {
     heap_.push({wall_now() + waitfor_period_, kCheckpointId, 0});
     checkpoint_scheduled_ = true;
@@ -246,6 +269,64 @@ core::Detector::CheckStats CheckerPool::check_now(MonitorId id) {
   return stats;
 }
 
+core::Detector::CheckStats CheckerPool::check_inline(MonitorId id) {
+  // Inline checks run on the application's thread, so their cost is exactly
+  // the in-path overhead the budget bounds: measure and fold every one.
+  inline_checks_.fetch_add(1, std::memory_order_relaxed);
+  const util::TimeNs started = cpu_now();
+  core::Detector::CheckStats stats = check_now(id);
+  if (budget_.enabled()) {
+    record_budget(cpu_now() - started, wall_now());
+  }
+  return stats;
+}
+
+void CheckerPool::record_budget(util::TimeNs check_ns, util::TimeNs now) {
+  const std::optional<trace::BudgetRecord> transition =
+      budget_.record_batch(check_ns, now);
+  if (transition) apply_budget_transition(*transition);
+}
+
+void CheckerPool::apply_budget_transition(
+    const trace::BudgetRecord& transition) {
+  // The inline↔offloaded flip rides the kStretch boundary: under pressure
+  // application threads should not also pay for checking, so the pool takes
+  // the inline monitors over; recovery hands them back.
+  const auto crossed = [](int level) {
+    return level >= static_cast<int>(BudgetLevel::kStretch);
+  };
+  if (crossed(transition.to) != crossed(transition.from)) {
+    set_inline_offloaded(crossed(transition.to));
+  }
+}
+
+void CheckerPool::set_inline_offloaded(bool offload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (inline_offloaded_.load(std::memory_order_relaxed) == offload) return;
+  inline_offloaded_.store(offload, std::memory_order_relaxed);
+  bool pushed = false;
+  for (auto& [id, entry] : entries_) {
+    if (entry->options.instrumentation != CheckInstrumentation::kInline ||
+        !entry->scheduled) {
+      continue;
+    }
+    inline_flips_.fetch_add(1, std::memory_order_relaxed);
+    if (offload) {
+      heap_.push({wall_now() + entry->effective_period, id,
+                  entry->generation});
+      pushed = true;
+    } else {
+      // Invalidate the heap items pushed while offloaded; the call sites'
+      // polls resume on their own (they re-read inline_offloaded()).
+      ++entry->generation;
+    }
+  }
+  if (pushed) {
+    ensure_workers_locked();
+    work_cv_.notify_all();
+  }
+}
+
 std::size_t CheckerPool::thread_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return workers_.size();
@@ -349,7 +430,12 @@ core::Detector::CheckStats CheckerPool::run_check(Entry& entry,
   if (waitfor_enabled() && entry.options.contribute_wait_edges) {
     contribute_wait_edges(entry, *state);
   }
-  if (lockorder_enabled() && entry.options.contribute_lock_order) {
+  if (lockorder_enabled() && entry.options.contribute_lock_order &&
+      !budget_.shed_prediction()) {
+    // Shed with the prediction checkpoint: the per-check fold is the other
+    // half of prediction's cost (the observe() join).  Edges missed while
+    // shed are simply not recorded — the relation is advisory, and the
+    // certified-interval join never fabricates, so resuming is safe.
     contribute_lock_order(entry, *state);
   }
   if (entry.options.on_checkpoint) entry.options.on_checkpoint(*state);
@@ -358,20 +444,44 @@ core::Detector::CheckStats CheckerPool::run_check(Entry& entry,
 
 void CheckerPool::update_cadence_locked(
     Entry& entry, const core::Detector::CheckStats& stats, bool occupied) {
-  if (entry.options.max_stretch <= 1.0) return;  // fixed cadence
+  // Budget degradation feeds the same controller: level ≥ kStretch lifts
+  // the idle-stretch ceiling (first shed step — idle monitors are checked
+  // even more lazily, which costs nothing in detection latency thanks to
+  // the timer clamp below), and kWiden multiplies the effective period of
+  // EVERY monitor, occupied ones included (last step before nothing is
+  // left to shed but detection itself — which is never shed; the clamp
+  // keeps the widened period timer-bounded).  Both knobs are 1.0 when the
+  // budget is disabled or nominal.
+  const double boost = budget_.stretch_boost();
+  const double widen = budget_.widen_factor();
+  const double ceiling = std::max(1.0, entry.options.max_stretch * boost);
   const double alpha = entry.options.ewma_alpha;
   entry.ewma_events = alpha * static_cast<double>(stats.events) +
                       (1.0 - alpha) * entry.ewma_events;
+  // Symmetric recovery: a ceiling that shrank back (boost returned to 1)
+  // re-clamps stretch retained from the pressure episode immediately.
+  entry.stretch = std::min(entry.stretch, ceiling);
   if (stats.events > 0 || stats.violations > 0 || occupied) {
     // Activity, a finding, or anybody running/queued: base cadence, now.
     // Occupancy is the precondition of every timer rule (ST-5/6/8c), so an
     // occupied monitor is always checked at base cadence.
     entry.stretch = 1.0;
   } else if (entry.ewma_events < kIdleEventsEwma) {
-    entry.stretch = std::min(entry.stretch * 2.0, entry.options.max_stretch);
+    entry.stretch = std::min(entry.stretch * 2.0, ceiling);
+  }
+  // A flipped inline monitor sits on the heap only as a pressure measure:
+  // the flip exists to relieve application threads, not to add pool load,
+  // so the pool covers it at the boosted ceiling (still timer-clamped
+  // below) instead of base cadence.  This is part of the kStretch shed
+  // step — it keeps degraded levels strictly cheaper than nominal, which
+  // is what lets the controller descend back out of them.
+  double floor = 1.0;
+  if (entry.options.instrumentation == CheckInstrumentation::kInline) {
+    floor = ceiling;
   }
   util::TimeNs effective = static_cast<util::TimeNs>(
-      static_cast<double>(entry.period) * entry.stretch);
+      static_cast<double>(entry.period) *
+      std::max({entry.stretch, widen, floor}));
   // Detection-latency clamp.  A blocking episode that *begins* mid-
   // stretched-interval is only noticed at the next (deferred) check, so
   // the effective period also bounds that first detection latency.  Capping
@@ -549,6 +659,15 @@ std::size_t CheckerPool::waitfor_graph_monitors() const {
 
 std::size_t CheckerPool::run_lockorder_checkpoint() {
   if (!lockorder_enabled()) return 0;
+  if (budget_.shed_prediction()) {
+    // Prediction is shed before detection (budget level ≥ kShedPrediction):
+    // the pass is skipped, not cancelled — the periodic heap item keeps
+    // rescheduling, so the first pass after recovery resumes over the
+    // accumulated relation.  lockorder_checkpoints() deliberately does not
+    // advance: it counts passes that ran.
+    prediction_sheds_.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
   // Order cycles are accumulated historical facts — no live validation
   // pass, and no cross-pass race to serialize: the reported-set insert
   // under the graph lock makes concurrent passes agree on who reports.
@@ -733,10 +852,17 @@ void CheckerPool::run_checkpoint_item_locked(
   heap_.pop();  // this worker owns the pass; re-pushed when done
   dispatches_.fetch_add(1, std::memory_order_relaxed);
   lock.unlock();
+  const util::TimeNs pass_started = cpu_now();
   if (id == kCheckpointId) {
     run_waitfor_checkpoint();
   } else {
     run_lockorder_checkpoint();
+  }
+  if (budget_.enabled()) {
+    // Checkpoint passes are detection spend too (graph SCC + live
+    // validation can dwarf a per-monitor check); one clock pair per pass,
+    // same as a dispatch batch.
+    record_budget(cpu_now() - pass_started, wall_now());
   }
   lock.lock();
   const bool any_scheduled =
@@ -820,7 +946,12 @@ void CheckerPool::worker_loop() {
     // One rule-clock read per batch, not per check.  Timer rules for later
     // batch members see a timestamp early by at most the batch runtime —
     // conservative: a threshold crossed mid-batch is simply caught at that
-    // monitor's next check.
+    // monitor's next check.  The budget measurement reuses the same
+    // structure: one thread-CPU clock pair brackets the whole batch (the
+    // spend it charges is the worker's CPU time, relocks and cadence
+    // updates included — exactly the cost the batch imposed, and immune to
+    // preemption charging the scheduler's slice to the budget).
+    const util::TimeNs batch_started = cpu_now();
     const util::TimeNs rule_now = clock_->now_ns();
     for (BatchSlot& slot : batch) {
       Entry& entry = *slot.entry;
@@ -863,6 +994,9 @@ void CheckerPool::worker_loop() {
         --entry.busy;
       }
       idle_cv_.notify_all();
+    }
+    if (budget_.enabled()) {
+      record_budget(cpu_now() - batch_started, wall_now());
     }
     lock.lock();
   }

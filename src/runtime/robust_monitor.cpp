@@ -26,8 +26,11 @@ RobustMonitor::RobustMonitor(core::MonitorSpec spec, core::ReportSink& sink,
     };
   }
   if (options_.checker_pool != nullptr) {
+    policy.instrumentation = options_.check_instrumentation;
     pool_ = options_.checker_pool;
     pool_id_ = pool_->add(monitor_, detector_, std::move(policy));
+    inline_mode_ = options_.check_instrumentation ==
+                   CheckerPool::CheckInstrumentation::kInline;
   } else {
     PeriodicChecker::Options checker_options;
     checker_options.hold_gate_during_check = policy.hold_gate_during_check;
@@ -113,18 +116,48 @@ void RobustMonitor::reset_order_matcher(trace::Pid pid) {
 
 void RobustMonitor::signal_exit(trace::Pid pid, const std::string& cond) {
   monitor_.signal_exit(pid, cond);
+  poll_inline_check();
 }
 
 void RobustMonitor::signal_exit(trace::Pid pid, const std::string& cond,
                                 std::int64_t resource_delta) {
   monitor_.signal_exit(pid, cond, resource_delta);
+  poll_inline_check();
 }
 
-void RobustMonitor::exit(trace::Pid pid) { monitor_.exit(pid); }
+void RobustMonitor::exit(trace::Pid pid) {
+  monitor_.exit(pid);
+  poll_inline_check();
+}
+
+void RobustMonitor::poll_inline_check() {
+  if (!inline_mode_ || !inline_active_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  const util::TimeNs now = util::SteadyClock::instance().now_ns();
+  util::TimeNs due = next_inline_check_.load(std::memory_order_relaxed);
+  if (now < due) return;  // the steady-state exit: one clock read + compare
+  if (pool_->inline_offloaded()) return;  // pressure: the pool owns us now
+  // One caller wins the due slot and runs the check; losers see the
+  // advanced deadline.  The next due time uses the pool's effective period,
+  // so budget widening and adaptive stretch govern inline cadence too.
+  const util::TimeNs next = now + pool_->effective_period(pool_id_);
+  if (!next_inline_check_.compare_exchange_strong(due, next,
+                                                  std::memory_order_relaxed)) {
+    return;
+  }
+  pool_->check_inline(pool_id_);
+}
 
 void RobustMonitor::start_checking() {
   if (pool_ != nullptr) {
     pool_->schedule(pool_id_);
+    if (inline_mode_) {
+      next_inline_check_.store(util::SteadyClock::instance().now_ns() +
+                                   pool_->period(pool_id_),
+                               std::memory_order_relaxed);
+      inline_active_.store(true, std::memory_order_relaxed);
+    }
   } else {
     checker_->start();
   }
@@ -132,6 +165,7 @@ void RobustMonitor::start_checking() {
 
 void RobustMonitor::stop_checking() {
   if (pool_ != nullptr) {
+    inline_active_.store(false, std::memory_order_relaxed);
     pool_->unschedule(pool_id_);
   } else {
     checker_->stop();

@@ -16,6 +16,7 @@
 //   monitor.stop_checking();
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -66,6 +67,18 @@ class RobustMonitor {
     /// prediction relation (only meaningful when the pool has its
     /// prediction checkpoint enabled).
     bool contribute_lock_order = true;
+    /// Where the checking routine runs when checker_pool is set.
+    /// kOffloaded (default): the pool's worker threads, asynchronously.
+    /// kInline: synchronously on the calling thread — exit() and
+    /// signal_exit() poll the pool once the monitor's effective period has
+    /// elapsed (the detectEr-style synchronous instrumentation choice; the
+    /// steady per-operation cost is one clock read and one atomic compare).
+    /// The pool's budget controller may temporarily offload an inline
+    /// monitor under pressure; polling resumes when it recovers.  Ignored
+    /// without a checker_pool (the private PeriodicChecker is always
+    /// offloaded).
+    CheckerPool::CheckInstrumentation check_instrumentation =
+        CheckerPool::CheckInstrumentation::kOffloaded;
   };
 
   RobustMonitor(core::MonitorSpec spec, core::ReportSink& sink);
@@ -133,6 +146,13 @@ class RobustMonitor {
   trace::TraceFile export_trace() const;
 
  private:
+  /// Inline instrumentation: run the checking routine on this (calling)
+  /// thread if the effective check period has elapsed.  Called at the two
+  /// points where the caller has just left the monitor (exit, signal_exit)
+  /// — never from inside it, where the caller's own presence would deadlock
+  /// the checker-gate quiesce.
+  void poll_inline_check();
+
   void advance_order_matcher(trace::Pid pid, const std::string& procedure);
   /// Restart `pid`'s calling-order matcher after a recovery fault aborted
   /// its in-flight procedure (the caller retries the protocol from
@@ -148,6 +168,11 @@ class RobustMonitor {
   CheckerPool::MonitorId pool_id_ = 0;
   /// ... or the private single-thread compat checker.
   std::unique_ptr<PeriodicChecker> checker_;
+
+  /// Inline-instrumentation poll state (pool path with kInline only).
+  bool inline_mode_ = false;
+  std::atomic<bool> inline_active_{false};       ///< start/stop_checking.
+  std::atomic<util::TimeNs> next_inline_check_{0};
 
   /// Real-time phase state (allocator monitors / any declared order).
   std::optional<pathexpr::CallOrderSpec> order_spec_;

@@ -43,12 +43,13 @@ EventKind kind_from_code(char code, std::size_t line_no) {
 }  // namespace
 
 void write_trace(std::ostream& out, const TraceFile& trace) {
-  // v5 adds the `loss` ingestion-loss line (omitted when zero); v4 adds
-  // `rcov` recovery-action lines; v3 adds `lord` lock-order-witness lines;
-  // v2 appends the episode ticket as a trailing field on state/eq/cq/hold
-  // lines.  Older documents (no loss/rcov/lord lines, no tickets) still
-  // parse, with the absent data defaulted.
-  out << "robmon-trace v5\n";
+  // v6 adds `bdgt` budget-transition lines; v5 adds the `loss`
+  // ingestion-loss line (omitted when zero); v4 adds `rcov` recovery-action
+  // lines; v3 adds `lord` lock-order-witness lines; v2 appends the episode
+  // ticket as a trailing field on state/eq/cq/hold lines.  Older documents
+  // (no bdgt/loss/rcov/lord lines, no tickets) still parse, with the absent
+  // data defaulted.
+  out << "robmon-trace v6\n";
   out << "monitor " << trace.monitor_name << " " << trace.monitor_type << " "
       << trace.rmax << "\n";
   if (trace.events_lost > 0) out << "loss " << trace.events_lost << "\n";
@@ -95,6 +96,12 @@ void write_trace(std::ostream& out, const TraceFile& trace) {
     if (!record.detail.empty()) out << " " << record.detail;
     out << "\n";
   }
+  for (const auto& record : trace.budget) {
+    out << "bdgt " << record.from << " " << record.to << " "
+        << record.spend_ppm << " " << record.budget_ppm << " " << record.at;
+    if (!record.detail.empty()) out << " " << record.detail;
+    out << "\n";
+  }
 }
 
 std::string write_trace_string(const TraceFile& trace) {
@@ -116,9 +123,9 @@ TraceFile read_trace(std::istream& in) {
 
   if (!std::getline(in, line)) parse_error(1, "empty trace");
   ++line_no;
-  if (line != "robmon-trace v5" && line != "robmon-trace v4" &&
-      line != "robmon-trace v3" && line != "robmon-trace v2" &&
-      line != "robmon-trace v1") {
+  if (line != "robmon-trace v6" && line != "robmon-trace v5" &&
+      line != "robmon-trace v4" && line != "robmon-trace v3" &&
+      line != "robmon-trace v2" && line != "robmon-trace v1") {
     parse_error(1, "bad magic: " + line);
   }
 
@@ -224,6 +231,18 @@ TraceFile read_trace(std::istream& in) {
       // The rationale is the free-text remainder of the line.
       std::getline(fields >> std::ws, record.detail);
       trace.recovery.push_back(std::move(record));
+    } else if (tag == "bdgt") {
+      BudgetRecord record;
+      fields >> record.from >> record.to >> record.spend_ppm >>
+          record.budget_ppm >> record.at;
+      // Levels are the documented four-step shed ladder; anything outside
+      // it is a malformed document, not a future extension point.
+      if (fields.fail() || record.from < 0 || record.from > 3 ||
+          record.to < 0 || record.to > 3) {
+        parse_error(line_no, "bad bdgt line");
+      }
+      std::getline(fields >> std::ws, record.detail);
+      trace.budget.push_back(std::move(record));
     } else {
       parse_error(line_no, "unknown tag: " + tag);
     }

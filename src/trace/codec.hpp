@@ -52,6 +52,30 @@ struct RecoveryRecord {
   bool operator==(const RecoveryRecord&) const = default;
 };
 
+/// One persisted overhead-budget transition (robmon-trace v6 `bdgt` line):
+/// the pool's BudgetController moved from degradation level `from` to `to`
+/// because its spend EWMA crossed the configured budget (or the recovery
+/// threshold under it).  Levels are the documented shed ladder:
+///   0  nominal — full detection and prediction,
+///   1  idle cadence stretched harder (and inline monitors offloaded),
+///   2  lock-order *prediction* shed (confirmed-cycle detection untouched),
+///   3  detection periods widened toward Tmax (never dropped).
+/// `spend_ppm` / `budget_ppm` are the spend EWMA and the budget as integer
+/// parts-per-million of wall time — integers so a round-trip is exact.
+/// `detail` is the free-text remainder of the line: what was shed or
+/// restored.  The log is pool-scoped, like the lock-order relation and the
+/// recovery log; replay re-derives what was shed and when from these lines.
+struct BudgetRecord {
+  int from = 0;
+  int to = 0;
+  std::uint64_t spend_ppm = 0;
+  std::uint64_t budget_ppm = 0;
+  util::TimeNs at = 0;
+  std::string detail;
+
+  bool operator==(const BudgetRecord&) const = default;
+};
+
 /// In-memory representation of a serialized trace.
 struct TraceFile {
   std::string monitor_name;
@@ -70,9 +94,13 @@ struct TraceFile {
   /// Recovery actions (v4; empty for earlier documents).  Pool-scoped, like
   /// the lock-order relation.
   std::vector<RecoveryRecord> recovery;
+  /// Overhead-budget transitions (v6; empty for earlier documents).
+  /// Pool-scoped, like the recovery log.
+  std::vector<BudgetRecord> budget;
 };
 
-/// Serialize to the robmon-trace v5 text format (v4 plus the `loss`
+/// Serialize to the robmon-trace v6 text format (v5 plus `bdgt`
+/// budget-transition lines; v5 is v4 plus the `loss`
 /// ingestion-loss-accounting line; v4 is v3 plus `rcov` recovery-action
 /// lines; v3 is v2 plus `lord` lock-order-witness lines; v2 itself is v1
 /// plus per-entry episode tickets on state/eq/cq/hold lines).
@@ -80,10 +108,11 @@ struct TraceFile {
 void write_trace(std::ostream& out, const TraceFile& trace);
 std::string write_trace_string(const TraceFile& trace);
 
-/// Parse a robmon-trace v1–v5 document (v1 entries get ticket 0; v1/v2
+/// Parse a robmon-trace v1–v6 document (v1 entries get ticket 0; v1/v2
 /// documents have an empty lock-order relation, pre-v4 documents an empty
-/// recovery log, pre-v5 documents a zero loss count).  Throws
-/// std::runtime_error with a line-numbered message on malformed input.
+/// recovery log, pre-v5 documents a zero loss count, pre-v6 documents an
+/// empty budget log).  Throws std::runtime_error with a line-numbered
+/// message on malformed input.
 TraceFile read_trace(std::istream& in);
 TraceFile read_trace_string(const std::string& text);
 

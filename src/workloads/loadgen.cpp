@@ -1,7 +1,11 @@
 #include "workloads/loadgen.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -373,6 +377,253 @@ MultiLoadResult run_multi_load(const MultiLoadOptions& options) {
   }
   result.potential_deadlocks = lockorder_sink.count();
 
+  result.faults_expected = faulty;
+  for (std::size_t i = 0; i < monitor_count; ++i) {
+    const bool reported = sinks[i]->count() > 0;
+    if (i < faulty) {
+      if (reported) {
+        ++result.faulty_detected;
+      } else {
+        ++result.missed_detections;
+      }
+    } else if (reported) {
+      ++result.false_positive_monitors;
+    }
+  }
+  return result;
+}
+
+BudgetSpikeResult run_budget_spike(const BudgetSpikeOptions& options) {
+  if (options.budget.fraction <= 0.0) {
+    throw std::invalid_argument(
+        "run_budget_spike: budget.fraction must be > 0");
+  }
+  const std::size_t monitor_count = std::max<std::size_t>(2, options.monitors);
+  const int threads_per_monitor = std::max(1, options.threads_per_monitor);
+  const std::size_t faulty = std::min(options.faulty_monitors, monitor_count);
+
+  // One shared pool carries the budget: the controller sees the spend of
+  // every monitor, both checkpoints, and the inline path together.
+  core::CollectingSink waitfor_sink;
+  core::CollectingSink lockorder_sink;
+  rt::CheckerPool::Options pool_options;
+  pool_options.budget = options.budget;
+  if (options.waitfor_checkpoint_period > 0) {
+    pool_options.waitfor_checkpoint_period = options.waitfor_checkpoint_period;
+    pool_options.waitfor_sink = &waitfor_sink;
+  }
+  if (options.lockorder_checkpoint_period > 0) {
+    pool_options.lockorder_checkpoint_period =
+        options.lockorder_checkpoint_period;
+    pool_options.lockorder_sink = &lockorder_sink;
+  }
+  rt::CheckerPool pool(pool_options);
+
+  const auto is_coordinator = [](std::size_t i) { return i % 2 == 0; };
+  // Instrumentation alternates in pairs so it is decorrelated from the
+  // monitor type: both coordinators and allocators appear on both paths.
+  const auto is_inline = [](std::size_t i) { return (i / 2) % 2 == 0; };
+
+  const std::size_t buffer_capacity = std::max<std::size_t>(
+      options.capacity, static_cast<std::size_t>(threads_per_monitor));
+  std::vector<std::unique_ptr<core::CollectingSink>> sinks;
+  std::vector<std::unique_ptr<inject::ScriptedInjection>> injections;
+  std::vector<std::unique_ptr<rt::RobustMonitor>> monitors;
+  std::vector<std::unique_ptr<BoundedBuffer>> buffers(monitor_count);
+  std::vector<std::unique_ptr<ResourceAllocator>> allocators(monitor_count);
+  for (std::size_t i = 0; i < monitor_count; ++i) {
+    core::MonitorSpec spec =
+        is_coordinator(i)
+            ? core::MonitorSpec::coordinator(
+                  "spike-" + std::to_string(i),
+                  static_cast<std::int64_t>(buffer_capacity))
+            : core::MonitorSpec::allocator("spike-" + std::to_string(i));
+    spec.check_period = options.check_period;
+    spec.t_max = 5 * util::kSecond;
+    spec.t_io = 5 * util::kSecond;
+    spec.t_limit = 5 * util::kSecond;
+
+    sinks.push_back(std::make_unique<core::CollectingSink>());
+    rt::RobustMonitor::Options monitor_options;
+    monitor_options.checker_pool = &pool;
+    monitor_options.cadence_max_stretch = options.max_stretch;
+    monitor_options.check_instrumentation =
+        is_inline(i) ? rt::CheckerPool::CheckInstrumentation::kInline
+                     : rt::CheckerPool::CheckInstrumentation::kOffloaded;
+    monitors.push_back(std::make_unique<rt::RobustMonitor>(
+        std::move(spec), *sinks.back(), monitor_options));
+
+    inject::InjectionController* buffer_injection =
+        &inject::NullInjection::instance();
+    if (i < faulty && is_coordinator(i)) {
+      injections.push_back(std::make_unique<inject::ScriptedInjection>(
+          inject::ScriptedInjection::Plan{core::FaultKind::kReceiveExceedsSend,
+                                          trace::kNoPid, 1, false}));
+      buffer_injection = injections.back().get();
+    }
+    if (is_coordinator(i)) {
+      buffers[i] = std::make_unique<BoundedBuffer>(*monitors[i],
+                                                   buffer_capacity,
+                                                   *buffer_injection);
+    } else {
+      allocators[i] = std::make_unique<ResourceAllocator>(
+          *monitors[i],
+          static_cast<std::int64_t>(std::max<std::size_t>(1, options.capacity)));
+    }
+  }
+
+  // Coordinator faults go in before the run: the fabricated receive needs an
+  // empty buffer, and Algorithm 2 catches it at any later checking point —
+  // including one widened toward the timer bound.  Allocator faults are
+  // injected at spike onset instead (below): the real-time calling-order
+  // phase is state-independent, so injecting under full degradation proves
+  // detection is never shed.  Injector pids stay globally unique (the
+  // lock-order join matches accesses by pid across monitors).
+  for (std::size_t i = 0; i < faulty; ++i) {
+    if (!is_coordinator(i)) continue;
+    std::int64_t item = 0;
+    buffers[i]->receive(9000 + static_cast<trace::Pid>(i), &item);
+  }
+
+  for (auto& monitor : monitors) monitor->start_checking();
+
+  // Client threads run open-ended op pairs; the driver throttles them all
+  // through one shared delay, which is what makes the spike a load change
+  // rather than a different workload.
+  std::atomic<util::TimeNs> op_delay{options.base_op_delay};
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> operations{0};
+  std::vector<std::thread> threads;
+  threads.reserve(monitor_count *
+                  static_cast<std::size_t>(threads_per_monitor));
+  for (std::size_t i = 0; i < monitor_count; ++i) {
+    for (int t = 0; t < threads_per_monitor; ++t) {
+      const trace::Pid pid =
+          100 + static_cast<trace::Pid>(i) * threads_per_monitor + t;
+      if (is_coordinator(i)) {
+        BoundedBuffer* buffer = buffers[i].get();
+        threads.emplace_back([buffer, pid, &op_delay, &stop, &operations] {
+          std::int64_t item = 0;
+          std::int64_t k = 0;
+          while (!stop.load(std::memory_order_relaxed)) {
+            if (buffer->send(pid, k++) != rt::Status::kOk) return;
+            if (buffer->receive(pid, &item) != rt::Status::kOk) return;
+            operations.fetch_add(2, std::memory_order_relaxed);
+            simulated_work(op_delay.load(std::memory_order_relaxed));
+          }
+        });
+      } else {
+        ResourceAllocator* allocator = allocators[i].get();
+        threads.emplace_back([allocator, pid, &op_delay, &stop, &operations] {
+          while (!stop.load(std::memory_order_relaxed)) {
+            if (allocator->acquire(pid) != rt::Status::kOk) return;
+            if (allocator->release(pid) != rt::Status::kOk) return;
+            operations.fetch_add(2, std::memory_order_relaxed);
+            simulated_work(op_delay.load(std::memory_order_relaxed));
+          }
+        });
+      }
+    }
+  }
+
+  const util::Clock& clock = util::SteadyClock::instance();
+  const auto sleep_ns = [](util::TimeNs ns) {
+    if (ns > 0) std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+  };
+  struct Mark {
+    util::TimeNs t = 0;
+    std::uint64_t check_ns = 0;
+    std::uint64_t waitfor = 0;
+  };
+  const auto mark = [&] {
+    return Mark{clock.now_ns(), pool.total_check_ns(),
+                pool.waitfor_checkpoints()};
+  };
+  const auto spend = [](const Mark& a, const Mark& b) {
+    const util::TimeNs elapsed = b.t - a.t;
+    return elapsed > 0 ? static_cast<double>(b.check_ns - a.check_ns) /
+                             static_cast<double>(elapsed)
+                       : 0.0;
+  };
+  const double settle_fraction =
+      std::clamp(options.settle_fraction, 0.0, 0.95);
+  const auto settle = [settle_fraction](util::TimeNs phase) {
+    return static_cast<util::TimeNs>(static_cast<double>(phase) *
+                                     settle_fraction);
+  };
+
+  // Phase 1: calm baseline.
+  const auto run_started = mark();
+  sleep_ns(options.baseline_ns);
+  const auto baseline_end = mark();
+
+  // Phase 2: spike — divide every client's pause, and inject the allocator
+  // order violations right at the onset so they are detected while the
+  // controller is degrading.
+  op_delay.store(
+      std::max<util::TimeNs>(
+          1, options.base_op_delay / std::max(1, options.spike_multiplier)),
+      std::memory_order_relaxed);
+  for (std::size_t i = 0; i < faulty; ++i) {
+    if (is_coordinator(i)) continue;
+    inject::ScriptedInjection release_early(
+        {core::FaultKind::kReleaseBeforeAcquire, trace::kNoPid, 1, false});
+    ClientOptions client;
+    client.iterations = 1;
+    run_allocator_client(*allocators[i], 9000 + static_cast<trace::Pid>(i),
+                         release_early, client);
+  }
+  sleep_ns(settle(options.spike_ns));
+  const auto spike_mid = mark();
+  sleep_ns(options.spike_ns - settle(options.spike_ns));
+  const auto spike_end = mark();
+
+  // Phase 3: load subsides; the controller must retrace the ladder down.
+  const util::TimeNs post_delay = options.post_op_delay > 0
+                                      ? options.post_op_delay
+                                      : 4 * options.base_op_delay;
+  op_delay.store(post_delay, std::memory_order_relaxed);
+  sleep_ns(settle(options.post_ns));
+  const auto post_mid = mark();
+  sleep_ns(options.post_ns - settle(options.post_ns));
+  const auto post_end = mark();
+
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& thread : threads) thread.join();
+  for (auto& monitor : monitors) monitor->stop_checking();
+  for (auto& monitor : monitors) monitor->check_now();  // final segment
+
+  BudgetSpikeResult result;
+  result.budget_fraction = options.budget.fraction;
+  result.baseline_spend = spend(run_started, baseline_end);
+  result.spike_spend = spend(spike_mid, spike_end);
+  result.post_spend = spend(post_mid, post_end);
+  result.waitfor_passes_during_spike = spike_end.waitfor - spike_mid.waitfor;
+  result.transitions = pool.budget_transitions();
+  result.prediction_sheds = pool.prediction_sheds();
+  result.inline_checks = pool.inline_checks();
+  result.inline_flips = pool.inline_flips();
+  result.budget_log = pool.budget_log();
+  // Replay the transition log: every record must chain from the previous
+  // level and move exactly one rung — which makes "prediction shed before
+  // detection widened" and "recovery retraced the ladder" structural facts
+  // of the log rather than sampled observations.
+  int level = 0;
+  for (const auto& record : result.budget_log) {
+    if (record.from != level || std::abs(record.to - record.from) != 1 ||
+        record.to < 0 ||
+        record.to > static_cast<int>(rt::BudgetLevel::kWiden)) {
+      result.shed_order_ok = false;
+    }
+    level = record.to;
+    result.max_level = std::max(result.max_level, record.to);
+  }
+  result.final_level = level;
+  result.recovered = result.final_level ==
+                     static_cast<int>(rt::BudgetLevel::kNominal);
+  result.operations = operations.load(std::memory_order_relaxed);
+  result.events_lost = pool.events_lost();
+  result.seconds = static_cast<double>(post_end.t - run_started.t) / 1e9;
   result.faults_expected = faulty;
   for (std::size_t i = 0; i < monitor_count; ++i) {
     const bool reported = sinks[i]->count() > 0;

@@ -119,4 +119,97 @@ struct MultiLoadResult {
 /// Drive M monitors concurrently and account detection per monitor.
 MultiLoadResult run_multi_load(const MultiLoadOptions& options);
 
+// --- Overhead-budget spike scenario (bench/check_overhead `budget`). --------
+
+/// Closed-loop three-phase scenario for the pool's overhead budget: a calm
+/// baseline, a 10× load spike (per-thread op delay divided by
+/// spike_multiplier), and a calm post-spike phase.  The budget controller
+/// must degrade under the spike (in shed order: stretch, then prediction,
+/// then widen — never detection), keep measured detection spend near the
+/// budget, and recover to nominal when load subsides.  Detection liveness
+/// is asserted with deterministic injected faults: a fabricated receive on
+/// faulty coordinators before the run (caught by Algorithm 2 at a periodic
+/// check) and a release-before-acquire client on faulty allocators at spike
+/// onset (caught by the real-time calling-order phase even while periods
+/// are widened) — a correct engine misses none at any degradation level.
+struct BudgetSpikeOptions {
+  std::size_t monitors = 8;       ///< Alternating coordinator/allocator.
+  int threads_per_monitor = 2;
+  std::size_t capacity = 8;
+  util::TimeNs check_period = 2 * util::kMillisecond;
+  double max_stretch = 8.0;       ///< Idle-cadence ceiling (baseline phases).
+  /// Controller config, calibrated so the three phases land on different
+  /// sides of the thresholds: the calm baseline's spend sits clearly below
+  /// the budget, the uncontrolled spike's clearly above it, and the
+  /// recovery threshold (fraction × recover_margin) falls between the
+  /// subsided-load spend and the degraded spike spend.  Under a sustained
+  /// spike the controller may hunt between kShedPrediction and kWiden —
+  /// that is the intended closed-loop behaviour (it seeks the least
+  /// degradation that fits the budget), and the shed order holds through
+  /// every step.
+  rt::BudgetOptions budget = {.fraction = 0.0035,
+                              .ewma_alpha = 0.3,
+                              .recover_margin = 0.8,
+                              .decision_window = 50 * util::kMillisecond,
+                              .stretch_boost = 4.0,
+                              .widen_factor = 8.0};
+  util::TimeNs baseline_ns = 700 * util::kMillisecond;
+  util::TimeNs spike_ns = 1500 * util::kMillisecond;
+  util::TimeNs post_ns = 1200 * util::kMillisecond;
+  /// Per-thread pause between operation pairs at baseline load; the spike
+  /// divides it by spike_multiplier.
+  util::TimeNs base_op_delay = 60 * util::kMillisecond;
+  int spike_multiplier = 10;
+  /// Per-thread pause in the post-spike phase.  Deliberately gentler than
+  /// the baseline (0 = 4 × base_op_delay): the phase exists to prove the
+  /// controller retraces the ladder when load *subsides*, so the subsided
+  /// load sits well clear of the recovery threshold rather than at the
+  /// baseline's edge of it.
+  util::TimeNs post_op_delay = 0;
+  /// Leading fraction of the spike and post phases treated as controller
+  /// settling time; spend is measured over the remainder, i.e. the
+  /// controller's steady state, not its reaction transient.
+  double settle_fraction = 0.5;
+  /// Half inline / half offloaded instrumentation is fixed by the scenario
+  /// (monitors alternate in pairs), exercising the under-pressure flip.
+  std::size_t faulty_monitors = 2;
+  util::TimeNs waitfor_checkpoint_period = 20 * util::kMillisecond;
+  util::TimeNs lockorder_checkpoint_period = 20 * util::kMillisecond;
+};
+
+struct BudgetSpikeResult {
+  double budget_fraction = 0.0;   ///< Configured budget (copy).
+  /// Detection spend (pool checking wall time / elapsed wall time) per
+  /// phase; spike and post are measured after their settling window.
+  double baseline_spend = 0.0;
+  double spike_spend = 0.0;
+  double post_spend = 0.0;
+  int max_level = 0;              ///< Deepest ladder level reached.
+  int final_level = 0;            ///< Level when the run ended.
+  std::uint64_t transitions = 0;
+  std::uint64_t prediction_sheds = 0;   ///< Shed prediction passes.
+  std::uint64_t inline_checks = 0;      ///< In-path checks executed.
+  std::uint64_t inline_flips = 0;       ///< Budget-driven offload flips.
+  /// Every logged transition is a ±1 ladder step and chains from the
+  /// previous level — the structural proof that prediction was shed before
+  /// detection was widened and that recovery retraced the same ladder.
+  bool shed_order_ok = true;
+  bool recovered = false;         ///< final_level back at nominal.
+  /// Wait-for checkpoint passes during the spike's measured window —
+  /// confirmed-cycle detection must keep running at every level (> 0).
+  std::uint64_t waitfor_passes_during_spike = 0;
+  std::size_t faults_expected = 0;
+  std::size_t faulty_detected = 0;
+  std::size_t missed_detections = 0;
+  std::size_t false_positive_monitors = 0;
+  std::uint64_t operations = 0;
+  std::uint64_t events_lost = 0;
+  double seconds = 0.0;
+  std::vector<trace::BudgetRecord> budget_log;
+};
+
+/// Run the spike scenario.  Throws std::invalid_argument when
+/// options.budget.fraction <= 0.
+BudgetSpikeResult run_budget_spike(const BudgetSpikeOptions& options);
+
 }  // namespace robmon::wl

@@ -455,14 +455,14 @@ TEST(CodecTest, ReadsV1TracesWithoutTickets) {
   EXPECT_EQ(state.holders[0].ticket, 0u);
 }
 
-TEST(CodecTest, WritesV5WithTickets) {
+TEST(CodecTest, WritesV6WithTickets) {
   TraceFile original;
   original.monitor_name = "m";
   original.monitor_type = "manager";
   original.rmax = -1;
   original.checkpoints.push_back(sample_state());
   const std::string text = write_trace_string(original);
-  EXPECT_EQ(text.rfind("robmon-trace v5\n", 0), 0u);
+  EXPECT_EQ(text.rfind("robmon-trace v6\n", 0), 0u);
   const TraceFile parsed = read_trace_string(text);
   ASSERT_EQ(parsed.checkpoints.size(), 1u);
   EXPECT_EQ(parsed.checkpoints[0].running_ticket, 9u);
@@ -559,11 +559,53 @@ TEST(CodecTest, RejectsBadRecoveryLine) {
                std::runtime_error);
 }
 
+TEST(CodecTest, BudgetTransitionsRoundTrip) {
+  TraceFile original;
+  original.monitor_name = "pool";
+  original.monitor_type = "pool";
+  original.rmax = -1;
+  original.budget = {
+      {0, 1, 5200, 3500, 1200,
+       "stretch: idle-cadence ceiling boosted, inline monitors offloaded"},
+      {1, 2, 6100, 3500, 1300, "shed: lock-order prediction suspended"},
+      {2, 3, 4800, 3500, 1400,
+       "widen: detection periods widened toward the timer bound"},
+      {3, 2, 2100, 3500, 1900,
+       "recover: detection periods restored to base cadence"},
+  };
+  const TraceFile parsed = read_trace_string(write_trace_string(original));
+  EXPECT_EQ(parsed.budget, original.budget);
+}
+
+TEST(CodecTest, V5DocumentsParseWithEmptyBudget) {
+  // A pre-v6 document has no bdgt lines; the transition log defaults to
+  // empty — and a budget-free v6 trace differs from v5 only in the magic.
+  const std::string v5 =
+      "robmon-trace v5\n"
+      "monitor m manager -1\n"
+      "loss 3\n";
+  const TraceFile parsed = read_trace_string(v5);
+  EXPECT_TRUE(parsed.budget.empty());
+  EXPECT_EQ(parsed.events_lost, 3u);
+}
+
+TEST(CodecTest, RejectsBadBudgetLine) {
+  // Too few fields.
+  EXPECT_THROW(read_trace_string("robmon-trace v6\nbdgt 0 1 5200\n"),
+               std::runtime_error);
+  // Levels outside the documented four-step ladder are malformed, not a
+  // future extension point.
+  EXPECT_THROW(read_trace_string("robmon-trace v6\nbdgt 3 4 1 2 100 x\n"),
+               std::runtime_error);
+  EXPECT_THROW(read_trace_string("robmon-trace v6\nbdgt -1 0 1 2 100 x\n"),
+               std::runtime_error);
+}
+
 TEST(CodecTest, DocumentedExampleParses) {
   // The worked round-trip example of docs/trace-format.md, verbatim: if
   // this document shape ever stops parsing, the docs are lying.
   const std::string documented =
-      "robmon-trace v5\n"
+      "robmon-trace v6\n"
       "monitor fork-1 allocator 1\n"
       "sym 0 Acquire\n"
       "sym 1 Release\n"
@@ -579,7 +621,11 @@ TEST(CodecTest, DocumentedExampleParses) {
       "lord fork-0 fork-1 1 3 5 W\n"
       "lord fork-1 fork-0 2 4 6 H\n"
       "rcov P 1 fork-1 2 2600 victim p1 blocked on fork-1[available]\n"
-      "rcov C -1 fork-1 0 3100 recovery complete: cycle dissolved\n";
+      "rcov C -1 fork-1 0 3100 recovery complete: cycle dissolved\n"
+      "bdgt 0 1 5200 3500 1200 stretch: idle-cadence ceiling boosted, "
+      "inline monitors offloaded\n"
+      "bdgt 1 0 1800 3500 2900 recover: nominal, full detection and "
+      "prediction restored\n";
   const TraceFile parsed = read_trace_string(documented);
   EXPECT_EQ(parsed.monitor_name, "fork-1");
   EXPECT_EQ(parsed.monitor_type, "allocator");
@@ -612,6 +658,16 @@ TEST(CodecTest, DocumentedExampleParses) {
             "victim p1 blocked on fork-1[available]");
   EXPECT_EQ(parsed.recovery[1].action, 'C');
   EXPECT_EQ(parsed.recovery[1].victim, kNoPid);
+  ASSERT_EQ(parsed.budget.size(), 2u);
+  EXPECT_EQ(parsed.budget[0].from, 0);
+  EXPECT_EQ(parsed.budget[0].to, 1);
+  EXPECT_EQ(parsed.budget[0].spend_ppm, 5200u);
+  EXPECT_EQ(parsed.budget[0].budget_ppm, 3500u);
+  EXPECT_EQ(parsed.budget[0].at, 1200);
+  EXPECT_EQ(parsed.budget[0].detail,
+            "stretch: idle-cadence ceiling boosted, inline monitors "
+            "offloaded");
+  EXPECT_EQ(parsed.budget[1].to, 0);
   // And the example round-trips: re-serializing reproduces the document.
   EXPECT_EQ(write_trace_string(parsed), documented);
 }
