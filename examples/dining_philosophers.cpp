@@ -23,8 +23,7 @@
 #include <cstdio>
 #include <string>
 
-#include "util/flags.hpp"
-#include "workloads/dining.hpp"
+#include "robmon.hpp"
 
 using namespace robmon;
 

@@ -19,9 +19,7 @@
 #include <cstdio>
 #include <fstream>
 
-#include "trace/codec.hpp"
-#include "util/flags.hpp"
-#include "workloads/gate_crossing.hpp"
+#include "robmon.hpp"
 
 using namespace robmon;
 

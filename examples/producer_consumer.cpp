@@ -10,8 +10,7 @@
 //   ./producer_consumer --instrumented=false
 #include <cstdio>
 
-#include "util/flags.hpp"
-#include "workloads/loadgen.hpp"
+#include "robmon.hpp"
 
 using namespace robmon;
 

@@ -9,9 +9,7 @@
 #include <cstdio>
 #include <thread>
 
-#include "inject/injection.hpp"
-#include "runtime/robust_monitor.hpp"
-#include "workloads/bounded_buffer.hpp"
+#include "robmon.hpp"
 
 using namespace robmon;
 

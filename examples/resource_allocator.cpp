@@ -13,9 +13,7 @@
 #include <thread>
 #include <vector>
 
-#include "inject/injection.hpp"
-#include "util/flags.hpp"
-#include "workloads/allocator.hpp"
+#include "robmon.hpp"
 
 using namespace robmon;
 

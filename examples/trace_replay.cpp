@@ -15,12 +15,7 @@
 #include <fstream>
 #include <thread>
 
-#include "core/lockorder.hpp"
-#include "core/replay.hpp"
-#include "inject/injection.hpp"
-#include "runtime/robust_monitor.hpp"
-#include "util/flags.hpp"
-#include "workloads/bounded_buffer.hpp"
+#include "robmon.hpp"
 
 using namespace robmon;
 

@@ -1,0 +1,122 @@
+// Vanilla dining philosophers — plain pthreads, ZERO robmon includes.
+//
+// This binary is the interposition backend's acceptance contract: it knows
+// nothing about robmon, links nothing of robmon, and is run unmodified
+// under the shim:
+//
+//   LD_PRELOAD=./librobmon_preload.so ./example_vanilla_dining deadlock
+//     → all five philosophers grab their left fork in lockstep (a barrier
+//       forces the simultaneous grab), then block on the right fork: a
+//       guaranteed 5-cycle.  The process hangs (it really is deadlocked);
+//       the shim names the exact thread/fork cycle on stderr, and CI runs
+//       it under `timeout`, expecting the kill plus the cycle report.
+//
+//   LD_PRELOAD=./librobmon_preload.so ./example_vanilla_dining clean
+//     → the classic asymmetry fix (the last philosopher reaches right
+//       first), plus a condition-variable start gate so the cond path is
+//       exercised too.  Exits 0; the shim must report zero faults.
+//
+// Modes: argv[1] = "clean" (default) | "deadlock"; argv[2] = rounds per
+// philosopher in clean mode (default 200).  Parsed by hand — this file
+// must not touch robmon's util::Flags either.
+#include <pthread.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace {
+
+constexpr int kPhilosophers = 5;
+
+pthread_mutex_t g_forks[kPhilosophers];
+pthread_barrier_t g_barrier;
+
+// Start gate: philosophers wait for the main thread's broadcast.
+pthread_mutex_t g_start_mu = PTHREAD_MUTEX_INITIALIZER;
+pthread_cond_t g_start_cv = PTHREAD_COND_INITIALIZER;
+bool g_started = false;
+
+struct Seat {
+  int index = 0;
+  bool deadlock = false;
+  int rounds = 0;
+};
+
+void await_start() {
+  pthread_mutex_lock(&g_start_mu);
+  while (!g_started) pthread_cond_wait(&g_start_cv, &g_start_mu);
+  pthread_mutex_unlock(&g_start_mu);
+}
+
+void* philosopher(void* raw) {
+  const Seat& seat = *static_cast<const Seat*>(raw);
+  const int left = seat.index;
+  const int right = (seat.index + 1) % kPhilosophers;
+  await_start();
+  if (seat.deadlock) {
+    // Lockstep symmetric grab: everyone holds their left fork before
+    // anyone reaches for the right one — the cycle always closes.
+    pthread_barrier_wait(&g_barrier);
+    pthread_mutex_lock(&g_forks[left]);
+    pthread_barrier_wait(&g_barrier);
+    pthread_mutex_lock(&g_forks[right]);  // Blocks forever.
+    pthread_mutex_unlock(&g_forks[right]);
+    pthread_mutex_unlock(&g_forks[left]);
+    return nullptr;
+  }
+  // Clean mode: the last philosopher reverses the grab order, which
+  // breaks the symmetry and makes the system deadlock-free.
+  const int first = seat.index == kPhilosophers - 1 ? right : left;
+  const int second = seat.index == kPhilosophers - 1 ? left : right;
+  for (int round = 0; round < seat.rounds; ++round) {
+    pthread_mutex_lock(&g_forks[first]);
+    pthread_mutex_lock(&g_forks[second]);
+    pthread_mutex_unlock(&g_forks[second]);
+    pthread_mutex_unlock(&g_forks[first]);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool deadlock = false;
+  int rounds = 200;
+  if (argc > 1) {
+    if (std::strcmp(argv[1], "deadlock") == 0) {
+      deadlock = true;
+    } else if (std::strcmp(argv[1], "clean") != 0) {
+      std::fprintf(stderr, "usage: %s [clean|deadlock] [rounds]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (argc > 2) rounds = std::atoi(argv[2]);
+
+  for (auto& fork : g_forks) pthread_mutex_init(&fork, nullptr);
+  pthread_barrier_init(&g_barrier, nullptr, kPhilosophers);
+
+  pthread_t threads[kPhilosophers];
+  Seat seats[kPhilosophers];
+  for (int i = 0; i < kPhilosophers; ++i) {
+    seats[i] = Seat{i, deadlock, rounds};
+    if (pthread_create(&threads[i], nullptr, philosopher, &seats[i]) != 0) {
+      std::fprintf(stderr, "pthread_create failed\n");
+      return 1;
+    }
+  }
+
+  std::printf("philosophers seated (%s)\n", deadlock ? "deadlock" : "clean");
+  std::fflush(stdout);
+  pthread_mutex_lock(&g_start_mu);
+  g_started = true;
+  pthread_cond_broadcast(&g_start_cv);
+  pthread_mutex_unlock(&g_start_mu);
+
+  for (pthread_t& thread : threads) pthread_join(thread, nullptr);
+
+  pthread_barrier_destroy(&g_barrier);
+  for (auto& fork : g_forks) pthread_mutex_destroy(&fork);
+  std::printf("all philosophers finished\n");
+  return 0;
+}

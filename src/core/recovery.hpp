@@ -53,7 +53,7 @@ std::string_view to_string(RecoveryRemedy remedy);
 
 /// One confirmed-cycle participant, as scored by the victim comparator.
 struct VictimCandidate {
-  trace::Pid pid = trace::kNoPid;
+  Tid pid = kNoTid;
   WaitMonitorId monitor = 0;  ///< Monitor the thread is blocked on.
   std::string monitor_name;
   std::string cond;  ///< Condition queue; empty = entry queue.
@@ -89,7 +89,7 @@ struct OrderDecision {
   std::string minority_to;
   /// Witnesses of the minority edge — the threads whose call sites must be
   /// fenced (serialized or re-ordered).
-  std::vector<trace::Pid> fenced;
+  std::vector<Tid> fenced;
   /// The imposed acquisition order: the cycle's monitors linearized so that
   /// every majority edge points forward (acquire left-to-right).
   std::vector<std::string> imposed_order;
@@ -107,7 +107,7 @@ class RecoveryPolicy {
     /// Victim scoring; default_victim_comparator() when empty.
     VictimComparator comparator;
     /// User priority of a thread (higher = protect); 0 for all when empty.
-    std::function<int(trace::Pid)> priority;
+    std::function<int(Tid)> priority;
   };
 
   RecoveryPolicy() : RecoveryPolicy(Options{}) {}

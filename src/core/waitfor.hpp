@@ -59,7 +59,7 @@ struct WaitContribution {
   util::TimeNs captured_at = 0;
 
   struct Wait {
-    trace::Pid pid = trace::kNoPid;
+    Tid pid = kNoTid;
     /// Condition queue the thread is parked on; empty = entry queue.
     std::string cond;
     util::TimeNs since = 0;      ///< Enqueue time (diagnostics, fallback).
@@ -67,7 +67,7 @@ struct WaitContribution {
                                  ///  clock-independently (0 = unknown).
   };
   struct Hold {
-    trace::Pid pid = trace::kNoPid;
+    Tid pid = kNoTid;
     /// true: mutex holder (Running); false: resource-unit holder.
     bool mutex = false;
     util::TimeNs since = 0;
@@ -89,12 +89,12 @@ WaitContribution make_wait_contribution(WaitMonitorId monitor,
 /// thread each link waits behind is the blocked thread of the next link.
 struct DeadlockCycle {
   struct Link {
-    trace::Pid pid = trace::kNoPid;   ///< Blocked thread.
+    Tid pid = kNoTid;                 ///< Blocked thread.
     WaitMonitorId monitor = 0;        ///< Monitor it waits on.
     std::string monitor_name;
     std::string cond;                 ///< Empty = entry queue (mutex wait).
     util::TimeNs blocked_since = 0;
-    trace::Pid holder = trace::kNoPid;
+    Tid holder = kNoTid;
     util::TimeNs held_since = 0;
     /// Episode tickets of the wait and the hold; 0 = unknown (pre-ticket
     /// trace), in which case validation falls back to the timestamps.

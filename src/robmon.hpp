@@ -1,0 +1,51 @@
+// robmon — umbrella header: the supported public surface, in one include.
+//
+//   #include "robmon.hpp"
+//
+// Layers (see docs/architecture.md):
+//   core/     detection model — specs, fault taxonomy, detectors, the
+//             pool-level wait-for and lock-order analyses, recovery policy
+//   trace/    events, scheduling-state snapshots, the event log, codec
+//   runtime/  the execution engine — rt::EventSink (the stable ingestion
+//             seam), HoareMonitor / RobustMonitor, rt::CheckerPool
+//   inject/   fault injection (tests, examples, coverage)
+//   workloads/ the paper's example monitors (bounded buffer, allocator,
+//             dining philosophers, gate crossing)
+//   util/     flags (argv + ROBMON_* env), clocks, ids
+//
+// Embedding contract: the stable way to feed robmon's detection engine
+// from your own instrumentation is rt::EventSink — implement it and
+// register with rt::CheckerPool::add(EventSink&) (detector-less) or
+// add(EventSink&, Detector&).  The LD_PRELOAD interposition backend
+// (src/interpose/, docs/interposition.md) is itself a client of exactly
+// that seam; nothing it does is privileged.
+//
+// The interpose/ headers are deliberately NOT pulled in here: they are
+// the shim's internals, not the embedding API.
+#pragma once
+
+#include "core/assertions.hpp"
+#include "core/detector.hpp"
+#include "core/fault.hpp"
+#include "core/lockorder.hpp"
+#include "core/monitor_spec.hpp"
+#include "core/recovery.hpp"
+#include "core/replay.hpp"
+#include "core/waitfor.hpp"
+#include "inject/injection.hpp"
+#include "runtime/checker_pool.hpp"
+#include "runtime/event_sink.hpp"
+#include "runtime/hoare_monitor.hpp"
+#include "runtime/robust_monitor.hpp"
+#include "trace/codec.hpp"
+#include "trace/event.hpp"
+#include "trace/event_log.hpp"
+#include "trace/snapshot.hpp"
+#include "util/clock.hpp"
+#include "util/flags.hpp"
+#include "util/ids.hpp"
+#include "workloads/allocator.hpp"
+#include "workloads/bounded_buffer.hpp"
+#include "workloads/dining.hpp"
+#include "workloads/gate_crossing.hpp"
+#include "workloads/loadgen.hpp"

@@ -5,6 +5,7 @@
 #include <ctime>
 #include <optional>
 #include <stdexcept>
+#include <utility>
 
 namespace robmon::rt {
 
@@ -91,15 +92,34 @@ CheckerPool::~CheckerPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
-CheckerPool::MonitorId CheckerPool::add(HoareMonitor& monitor,
+CheckerPool::MonitorId CheckerPool::add(EventSink& source,
                                         core::Detector& detector) {
-  return add(monitor, detector, MonitorOptions{});
+  return add_impl(source, &detector, MonitorOptions{});
 }
 
-CheckerPool::MonitorId CheckerPool::add(HoareMonitor& monitor,
+CheckerPool::MonitorId CheckerPool::add(EventSink& source,
                                         core::Detector& detector,
                                         MonitorOptions options) {
-  const util::TimeNs requested_period = detector.spec().check_period;
+  return add_impl(source, &detector, std::move(options));
+}
+
+CheckerPool::MonitorId CheckerPool::add(EventSink& source) {
+  return add_impl(source, nullptr, MonitorOptions{});
+}
+
+CheckerPool::MonitorId CheckerPool::add(EventSink& source,
+                                        MonitorOptions options) {
+  return add_impl(source, nullptr, std::move(options));
+}
+
+CheckerPool::MonitorId CheckerPool::add_impl(EventSink& source,
+                                             core::Detector* detector,
+                                             MonitorOptions options) {
+  // Detector-less sources pace themselves: cadence (and the timer clamp in
+  // update_cadence_locked) come from the source's own spec.
+  const util::TimeNs requested_period = detector != nullptr
+                                            ? detector->spec().check_period
+                                            : source.spec().check_period;
   if (requested_period < 0) {
     throw std::invalid_argument(
         "CheckerPool::add: negative check_period");
@@ -113,8 +133,8 @@ CheckerPool::MonitorId CheckerPool::add(HoareMonitor& monitor,
         "CheckerPool::add: ewma_alpha must be in (0, 1]");
   }
   auto entry = std::make_unique<Entry>();
-  entry->monitor = &monitor;
-  entry->detector = &detector;
+  entry->monitor = &source;
+  entry->detector = detector;
   entry->options = std::move(options);
   // Clamp (not reject) a zero period: callers historically pass 0 meaning
   // "as fast as possible", and the 100 µs floor keeps that from becoming a
@@ -194,7 +214,7 @@ void CheckerPool::remove(MonitorId id) {
   entry.scheduled = false;
   ++entry.generation;
   idle_cv_.wait(lock, [&entry] { return entry.busy == 0; });
-  HoareMonitor* monitor = entry.monitor;  // outlives its registration
+  EventSink* monitor = entry.monitor;  // outlives its registration
   entries_.erase(it);  // stale heap items are discarded by the workers
   // No check of this monitor is in flight or can start (busy drained above),
   // so nothing can re-contribute this id's edges after the erase.  Per the
@@ -393,28 +413,38 @@ core::Detector::CheckStats CheckerPool::run_check(Entry& entry,
   // poison/unpoison transitions run under entry.check_mu, which every
   // caller of run_check holds.
   bool suppressed = false;
+  // Detector-less sinks (interposition adapters) skip the per-monitor
+  // algorithms — their synthetic stream is not a faithful Hoare history and
+  // Algorithms 1-3 would fabricate ST violations over it — but still feed
+  // the cadence controller (segment size) and, below, the pool-level
+  // wait-for and lock-order contributions.
+  const auto evaluate = [&] {
+    if (suppressed) return;
+    if (entry.detector != nullptr) {
+      stats = entry.detector->check(segment, *state, rule_now);
+    } else {
+      stats.events = segment.size();
+      stats.idle = segment.empty();
+    }
+  };
   if (entry.options.hold_gate_during_check) {
     {
       sync::CheckerGate::ExclusiveScope quiesce(entry.monitor->gate());
-      segment = entry.monitor->log().drain();
+      segment = entry.monitor->drain_segment();
       state = entry.monitor->snapshot();
       suppressed = entry.monitor->recovery_poisoned();
-      if (!suppressed) {
-        stats = entry.detector->check(segment, *state, rule_now);
-      }
+      evaluate();
     }
     gate_released = wall_now();  // paper mode: suspended through the check
   } else {
     {
       sync::CheckerGate::ExclusiveScope quiesce(entry.monitor->gate());
-      segment = entry.monitor->log().drain();
+      segment = entry.monitor->drain_segment();
       state = entry.monitor->snapshot();
       suppressed = entry.monitor->recovery_poisoned();
     }
     gate_released = wall_now();
-    if (!suppressed) {
-      stats = entry.detector->check(segment, *state, rule_now);
-    }
+    evaluate();
   }
   if (suppressed) stats.idle = true;
   const util::TimeNs finished = wall_now();
@@ -491,7 +521,9 @@ void CheckerPool::update_cadence_locked(
   // most that threshold, and the check both snaps the cadence back to base
   // and evaluates the timer rules.  Tmax < T_eff (the Section 3.3
   // relation) holds throughout, since stretching only grows T.
-  const core::MonitorSpec& spec = entry.detector->spec();
+  const core::MonitorSpec& spec = entry.detector != nullptr
+                                      ? entry.detector->spec()
+                                      : entry.monitor->spec();
   util::TimeNs min_timer = 0;
   for (const util::TimeNs threshold : {spec.t_max, spec.t_io, spec.t_limit}) {
     if (threshold > 0 && (min_timer == 0 || threshold < min_timer)) {
@@ -736,8 +768,10 @@ void CheckerPool::rebaseline_entry(Entry& entry) {
   // the post-action state.  The caller holds entry.check_mu, so no worker
   // check interleaves between the action and the new baseline.
   sync::CheckerGate::ExclusiveScope quiesce(entry.monitor->gate());
-  entry.monitor->log().drain();
-  entry.detector->rebaseline(entry.monitor->snapshot());
+  entry.monitor->drain_segment();
+  if (entry.detector != nullptr) {
+    entry.detector->rebaseline(entry.monitor->snapshot());
+  }
 }
 
 void CheckerPool::act_on_confirmed_cycle(const core::DeadlockCycle& cycle) {
@@ -842,7 +876,7 @@ std::uint64_t CheckerPool::events_lost() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::uint64_t lost = 0;
   for (const auto& [id, entry] : entries_) {
-    if (entry->monitor != nullptr) lost += entry->monitor->log().events_lost();
+    if (entry->monitor != nullptr) lost += entry->monitor->events_lost();
   }
   return lost;
 }

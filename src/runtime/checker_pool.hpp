@@ -154,7 +154,7 @@
 #include "core/recovery.hpp"
 #include "core/waitfor.hpp"
 #include "runtime/budget.hpp"
-#include "runtime/hoare_monitor.hpp"
+#include "runtime/event_sink.hpp"
 #include "trace/codec.hpp"
 
 namespace robmon::rt {
@@ -265,15 +265,28 @@ class CheckerPool {
   CheckerPool(const CheckerPool&) = delete;
   CheckerPool& operator=(const CheckerPool&) = delete;
 
-  /// Register a monitor/detector pair.  The pair must outlive its
+  /// Register a source/detector pair.  The pair must outlive its
   /// registration (until remove() or pool destruction).  The check cadence
   /// is detector.spec().check_period, clamped to a 100 µs floor: the pool
   /// has no per-event mode, so a zero period (the paper's "T = 1" request)
   /// would otherwise hot-spin the heap.  A negative period is rejected
-  /// (std::invalid_argument).  Registered monitors start idle.
-  MonitorId add(HoareMonitor& monitor, core::Detector& detector);
-  MonitorId add(HoareMonitor& monitor, core::Detector& detector,
+  /// (std::invalid_argument).  Registered monitors start idle.  Any
+  /// EventSink registers; HoareMonitor implements the interface, so native
+  /// monitors pass through unchanged.
+  MonitorId add(EventSink& source, core::Detector& detector);
+  MonitorId add(EventSink& source, core::Detector& detector,
                 MonitorOptions options);
+
+  /// Detector-less registration — the ingestion path for sources whose
+  /// event stream is not a faithful Hoare-monitor history (the LD_PRELOAD
+  /// interposition adapter's synthetic monitors): Algorithms 1-3 would
+  /// fabricate ST violations over a synthetic stream, so the per-check
+  /// work reduces to drain + snapshot + the pool-level wait-for and
+  /// lock-order contributions, which are exactly the analyses that fire
+  /// through the shim.  Cadence and the timer clamp come from
+  /// source.spec(); every lifecycle and checkpoint behaviour is identical.
+  MonitorId add(EventSink& source);
+  MonitorId add(EventSink& source, MonitorOptions options);
 
   /// Begin periodic checking of `id` (first check one period from now).
   /// Spawns the worker threads on first use.  No-op if already scheduled.
@@ -455,7 +468,8 @@ class CheckerPool {
 
   struct Entry {
     MonitorId id = 0;
-    HoareMonitor* monitor = nullptr;
+    EventSink* monitor = nullptr;
+    /// Null for detector-less registrations (see add(EventSink&, ...)).
     core::Detector* detector = nullptr;
     MonitorOptions options;
     util::TimeNs period = 0;            ///< Clamped base period.
@@ -487,6 +501,9 @@ class CheckerPool {
     bool occupied = false;  ///< Snapshot showed running/queued processes.
   };
 
+  /// Shared registration body; `detector` may be null (detector-less add).
+  MonitorId add_impl(EventSink& source, core::Detector* detector,
+                     MonitorOptions options);
   void worker_loop();
   void ensure_workers_locked();
   /// Run one check; `rule_now` is the rule-clock timestamp shared by the

@@ -23,6 +23,7 @@
 
 #include "core/monitor_spec.hpp"
 #include "inject/injection.hpp"
+#include "runtime/event_sink.hpp"
 #include "sync/gate.hpp"
 #include "sync/semaphore.hpp"
 #include "sync/spinlock.hpp"
@@ -63,7 +64,7 @@ enum class Semantics {
   kMesaSignalContinue,
 };
 
-class HoareMonitor {
+class HoareMonitor : public EventSink {
  public:
   HoareMonitor(core::MonitorSpec spec, const util::Clock& clock,
                inject::InjectionController& injection =
@@ -111,13 +112,19 @@ class HoareMonitor {
 
   // --- Observation / control. ----------------------------------------------
 
-  trace::SchedulingState snapshot() const;
+  trace::SchedulingState snapshot() const override;
   trace::EventLog& log() { return log_; }
   const trace::EventLog& log() const { return log_; }
   trace::SymbolTable& symbols() { return symbols_; }
-  const trace::SymbolTable& symbols() const { return symbols_; }
-  const core::MonitorSpec& spec() const { return spec_; }
-  sync::CheckerGate& gate() { return gate_; }
+  const trace::SymbolTable& symbols() const override { return symbols_; }
+  const core::MonitorSpec& spec() const override { return spec_; }
+  sync::CheckerGate& gate() override { return gate_; }
+  /// EventSink ingestion surface: the monitor's single-shard log keeps the
+  /// total append order Algorithm-1's segment replay depends on.
+  std::vector<trace::EventRecord> drain_segment() override {
+    return log_.drain();
+  }
+  std::uint64_t events_lost() const override { return log_.events_lost(); }
   Instrumentation instrumentation() const { return instrumentation_; }
   Semantics semantics() const { return semantics_; }
 
@@ -144,18 +151,18 @@ class HoareMonitor {
   /// unit) proceeds normally, so a poisoned monitor drains back toward
   /// service instead of wedging its holders.  Used to break a confirmed
   /// deadlock by evicting the victim monitor's waiters.
-  void recovery_poison();
+  void recovery_poison() override;
 
   /// Clear the sticky recovery-poison state: normal service resumes for
   /// new arrivals (recovery-complete, e.g. the wait-for cycle dissolved).
-  void unpoison();
-  bool recovery_poisoned() const;
+  void unpoison() override;
+  bool recovery_poisoned() const override;
 
   /// Deliver a designated RecoveryFault to one parked thread: `pid` is
   /// removed from whichever queue it waits on and wakes with
   /// kRecoveryFault; every other waiter is untouched and the monitor is
   /// not poisoned.  Returns false when `pid` is not parked here.
-  bool deliver_recovery_fault(trace::Pid pid);
+  bool deliver_recovery_fault(trace::Pid pid) override;
 
  private:
   struct Waiter {

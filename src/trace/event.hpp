@@ -14,12 +14,14 @@
 
 #include "sync/spinlock.hpp"
 #include "util/clock.hpp"
+#include "util/ids.hpp"
 
 namespace robmon::trace {
 
-/// Process identifier, assigned by the application (user process id).
-using Pid = std::int32_t;
-constexpr Pid kNoPid = -1;
+/// Process identifier — the trace layer's (paper-vocabulary) name for the
+/// repo-wide thread identity robmon::Tid (util/ids.hpp).
+using Pid = Tid;
+constexpr Pid kNoPid = kNoTid;
 
 /// Interned procedure / condition name.
 using SymbolId = std::int32_t;

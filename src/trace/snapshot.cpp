@@ -22,7 +22,7 @@ std::size_t SchedulingState::blocked_count() const {
   return n;
 }
 
-const HoldEntry* SchedulingState::hold_of(Pid pid) const {
+const HoldEntry* SchedulingState::hold_of(Tid pid) const {
   for (const auto& hold : holders) {
     if (hold.pid == pid) return &hold;
   }

@@ -21,7 +21,7 @@ namespace robmon::trace {
 /// ManualClock share a timestamp but never a ticket).  0 = unknown
 /// (pre-ticket traces).
 struct QueueEntry {
-  Pid pid = kNoPid;
+  Tid pid = kNoTid;
   SymbolId proc = kNoSymbol;
   util::TimeNs enqueued_at = 0;
   std::uint64_t ticket = 0;
@@ -42,7 +42,7 @@ struct CondQueueState {
 /// holds plus the blocked queues give the pool-level wait-for graph its
 /// monitor→thread and thread→monitor edges.
 struct HoldEntry {
-  Pid pid = kNoPid;
+  Tid pid = kNoTid;
   std::int64_t units = 0;        ///< Units currently held (≥ 1).
   util::TimeNs held_since = 0;   ///< Start of the oldest outstanding hold.
   std::uint64_t ticket = 0;      ///< Episode ticket of the oldest hold.
@@ -69,14 +69,14 @@ struct SchedulingState {
   std::vector<HoldEntry> holders;
 
   /// The process currently running inside the monitor, if any.
-  Pid running = kNoPid;
+  Tid running = kNoTid;
   SymbolId running_proc = kNoSymbol;
   util::TimeNs running_since = 0;
   /// Episode ticket of the current ownership (one per ownership hand-off);
   /// 0 when nobody runs or the trace predates tickets.
   std::uint64_t running_ticket = 0;
 
-  bool has_running() const { return running != kNoPid; }
+  bool has_running() const { return running != kNoTid; }
 
   /// Entries of CQ[cond]; empty vector when the condition has no queue yet.
   const std::vector<QueueEntry>& cond_entries(SymbolId cond) const;
@@ -85,7 +85,7 @@ struct SchedulingState {
   std::size_t blocked_count() const;
 
   /// Hold entry for `pid`; nullptr when it holds nothing.
-  const HoldEntry* hold_of(Pid pid) const;
+  const HoldEntry* hold_of(Tid pid) const;
 
   bool operator==(const SchedulingState&) const = default;
 };

@@ -1,9 +1,11 @@
 #include "util/flags.hpp"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 namespace robmon::util {
 
@@ -72,6 +74,93 @@ std::string Flags::usage(const std::string& program) const {
         << entry.help << "\n";
   }
   return out.str();
+}
+
+EnvFlags::EnvFlags(std::string prefix) : prefix_(std::move(prefix)) {}
+
+std::optional<std::string> EnvFlags::raw(const std::string& name) const {
+  const char* value = std::getenv((prefix_ + name).c_str());
+  if (value == nullptr) return std::nullopt;
+  return std::string(value);
+}
+
+std::string EnvFlags::str(const std::string& name,
+                          const std::string& fallback) {
+  seen_.push_back(prefix_ + name);
+  return raw(name).value_or(fallback);
+}
+
+std::int64_t EnvFlags::i64(const std::string& name, std::int64_t fallback,
+                           std::int64_t min, std::int64_t max) {
+  seen_.push_back(prefix_ + name);
+  const std::optional<std::string> value = raw(name);
+  if (!value) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value->c_str(), &end, 10);
+  if (value->empty() || end == nullptr || *end != '\0' || errno == ERANGE) {
+    record_error(name, *value, "not an integer");
+    return fallback;
+  }
+  if (parsed < min || parsed > max) {
+    std::ostringstream what;
+    what << "out of range [" << min << ", " << max << "]";
+    record_error(name, *value, what.str());
+    return fallback;
+  }
+  return parsed;
+}
+
+double EnvFlags::f64(const std::string& name, double fallback, double min,
+                     double max) {
+  seen_.push_back(prefix_ + name);
+  const std::optional<std::string> value = raw(name);
+  if (!value) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value->c_str(), &end);
+  if (value->empty() || end == nullptr || *end != '\0' || errno == ERANGE) {
+    record_error(name, *value, "not a number");
+    return fallback;
+  }
+  if (!(parsed >= min && parsed <= max)) {  // rejects NaN too
+    std::ostringstream what;
+    what << "out of range [" << min << ", " << max << "]";
+    record_error(name, *value, what.str());
+    return fallback;
+  }
+  return parsed;
+}
+
+bool EnvFlags::boolean(const std::string& name, bool fallback) {
+  seen_.push_back(prefix_ + name);
+  const std::optional<std::string> value = raw(name);
+  if (!value) return fallback;
+  if (*value == "true" || *value == "1" || *value == "yes" || *value == "on") {
+    return true;
+  }
+  if (*value == "false" || *value == "0" || *value == "no" ||
+      *value == "off") {
+    return false;
+  }
+  record_error(name, *value, "not a boolean (true/1/yes/on or false/0/no/off)");
+  return fallback;
+}
+
+std::string EnvFlags::error_text() const {
+  if (errors_.empty()) return "";
+  std::ostringstream out;
+  out << "robmon: bad configuration:\n";
+  for (const std::string& error : errors_) out << "  " << error << "\n";
+  out << "recognized variables:";
+  for (const std::string& name : seen_) out << " " << name;
+  out << "\n";
+  return out.str();
+}
+
+void EnvFlags::record_error(const std::string& name, const std::string& value,
+                            const std::string& what) {
+  errors_.push_back(prefix_ + name + "=" + value + ": " + what);
 }
 
 }  // namespace robmon::util

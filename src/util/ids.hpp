@@ -1,0 +1,21 @@
+// The one thread/process identity used across every layer.
+//
+// The paper speaks of user-process ids (Pid); the runtime deals in real
+// threads, the interposition shim in pthreads, the recovery engine in
+// victims.  They were always the same 32-bit value under different local
+// spellings; robmon::Tid is the single alias they all share now.
+// trace::Pid remains as a namespace-local synonym (the paper's vocabulary
+// for the event/trace layer), defined in terms of Tid.
+#pragma once
+
+#include <cstdint>
+
+namespace robmon {
+
+/// One thread of the monitored program.  Assigned by the embedding
+/// application (native monitors) or densely by the interposition runtime
+/// (first adapted operation registers the calling thread).
+using Tid = std::int32_t;
+constexpr Tid kNoTid = -1;
+
+}  // namespace robmon
