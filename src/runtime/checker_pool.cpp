@@ -20,13 +20,11 @@ constexpr util::TimeNs kMinPeriodNs = 100'000;  // 100us
 /// the adaptive-cadence controller.
 constexpr double kIdleEventsEwma = 0.5;
 
-/// Deadlines and durations are wall-clock: Options::clock only feeds the
-/// detection rules, so a frozen ManualClock must not stall the cadence.
-util::TimeNs wall_now() {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+/// Deadlines and durations are backend wall-clock: Options::clock only feeds
+/// the detection rules, so a frozen ManualClock must not stall the cadence.
+/// Under SimBackend this is the scheduler's virtual clock, which only a
+/// scheduler step can freeze — and then nothing runs at all.
+util::TimeNs wall_now() { return sync::backend_now(); }
 
 /// Budgeted check cost is measured on the *thread CPU* clock, not the wall
 /// clock: a batch preempted mid-flight on a contended box would otherwise
@@ -34,19 +32,11 @@ util::TimeNs wall_now() {
 /// spurious degradation.  The spend window itself stays wall-clock (the
 /// budget is "checking cycles per wall-clock second").  Falls back to the
 /// wall clock where no thread CPU clock exists.
-util::TimeNs cpu_now() {
-#if defined(CLOCK_THREAD_CPUTIME_ID)
-  timespec ts;
-  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
-    return static_cast<util::TimeNs>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
-  }
-#endif
-  return wall_now();
-}
+util::TimeNs cpu_now() { return sync::backend_cpu_now(); }
 
 std::size_t clamp_threads(std::size_t requested) {
   const std::size_t hardware =
-      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+      std::max<std::size_t>(1, sync::backend_hardware_concurrency());
   if (requested == 0) return hardware;
   return std::min(requested, hardware);
 }
@@ -85,11 +75,11 @@ CheckerPool::CheckerPool(Options options)
 
 CheckerPool::~CheckerPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<sync::BackendMutex> lock(mu_);
     stop_ = true;
   }
   work_cv_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
+  for (sync::BackendThread& worker : workers_) worker.join();
 }
 
 CheckerPool::MonitorId CheckerPool::add(EventSink& source,
@@ -142,7 +132,7 @@ CheckerPool::MonitorId CheckerPool::add_impl(EventSink& source,
   entry->period = std::max(requested_period, kMinPeriodNs);
   entry->effective_period = entry->period;
 
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<sync::BackendMutex> lock(mu_);
   const MonitorId id = next_id_++;
   entry->id = id;
   entries_.emplace(id, std::move(entry));
@@ -158,7 +148,7 @@ void CheckerPool::ensure_workers_locked() {
 }
 
 void CheckerPool::schedule(MonitorId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<sync::BackendMutex> lock(mu_);
   auto it = entries_.find(id);
   if (it == entries_.end()) {
     throw std::invalid_argument("CheckerPool::schedule: unknown monitor id");
@@ -192,7 +182,7 @@ void CheckerPool::schedule(MonitorId id) {
 }
 
 void CheckerPool::unschedule(MonitorId id) {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<sync::BackendMutex> lock(mu_);
   auto it = entries_.find(id);
   if (it == entries_.end()) return;
   Entry& entry = *it->second;
@@ -202,12 +192,12 @@ void CheckerPool::unschedule(MonitorId id) {
   // Withdraw the wait-for contribution: it would never be refreshed again
   // and every checkpoint would re-derive (and re-validate) candidates from
   // it.  A later check_now()/schedule() re-contributes.
-  std::lock_guard<std::mutex> graph_lock(graph_mu_);
+  std::lock_guard<sync::BackendMutex> graph_lock(graph_mu_);
   graph_.erase(id);
 }
 
 void CheckerPool::remove(MonitorId id) {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<sync::BackendMutex> lock(mu_);
   auto it = entries_.find(id);
   if (it == entries_.end()) return;
   Entry& entry = *it->second;
@@ -226,12 +216,12 @@ void CheckerPool::remove(MonitorId id) {
     return std::find(monitors.begin(), monitors.end(), id) != monitors.end();
   };
   {
-    std::lock_guard<std::mutex> graph_lock(graph_mu_);
+    std::lock_guard<sync::BackendMutex> graph_lock(graph_mu_);
     graph_.erase(id);
     std::erase_if(reported_cycles_, names_monitor);
   }
   {
-    std::lock_guard<std::mutex> order_lock(lockorder_mu_);
+    std::lock_guard<sync::BackendMutex> order_lock(lockorder_mu_);
     order_graph_.erase(id);
     std::erase_if(reported_order_cycles_, names_monitor);
   }
@@ -242,7 +232,7 @@ void CheckerPool::remove(MonitorId id) {
   // busy drained above means no check references it.
   bool was_poisoned = false;
   {
-    std::lock_guard<std::mutex> recovery_lock(recovery_mu_);
+    std::lock_guard<sync::BackendMutex> recovery_lock(recovery_mu_);
     was_poisoned =
         std::erase_if(active_poisons_, [id](const auto& poison) {
           return poison.second == id;
@@ -254,12 +244,13 @@ void CheckerPool::remove(MonitorId id) {
 core::Detector::CheckStats CheckerPool::check_now(MonitorId id) {
   Entry* entry = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<sync::BackendMutex> lock(mu_);
     auto it = entries_.find(id);
-    if (it == entries_.end()) {
-      throw std::invalid_argument(
-          "CheckerPool::check_now: unknown monitor id");
-    }
+    // Unknown or just-removed id: report "no check ran" instead of
+    // throwing.  Callers probing mid-churn (the schedule explorer, inline
+    // polls racing remove()) cannot atomically check-and-call, so caller
+    // discipline is not enforceable here.
+    if (it == entries_.end()) return core::Detector::CheckStats{};
     entry = it->second.get();
     ++entry->busy;  // pins the entry: remove() waits for busy == 0
   }
@@ -270,7 +261,7 @@ core::Detector::CheckStats CheckerPool::check_now(MonitorId id) {
     Entry* entry;
     ~BusyRelease() {
       {
-        std::lock_guard<std::mutex> lock(pool->mu_);
+        std::lock_guard<sync::BackendMutex> lock(pool->mu_);
         --entry->busy;
       }
       pool->idle_cv_.notify_all();
@@ -279,11 +270,11 @@ core::Detector::CheckStats CheckerPool::check_now(MonitorId id) {
   core::Detector::CheckStats stats;
   bool occupied = false;
   {
-    std::lock_guard<std::mutex> check_lock(entry->check_mu);
+    std::lock_guard<sync::BackendMutex> check_lock(entry->check_mu);
     stats = run_check(*entry, clock_->now_ns(), &occupied);
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<sync::BackendMutex> lock(mu_);
     update_cadence_locked(*entry, stats, occupied);
   }
   return stats;
@@ -321,7 +312,7 @@ void CheckerPool::apply_budget_transition(
 }
 
 void CheckerPool::set_inline_offloaded(bool offload) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<sync::BackendMutex> lock(mu_);
   if (inline_offloaded_.load(std::memory_order_relaxed) == offload) return;
   inline_offloaded_.store(offload, std::memory_order_relaxed);
   bool pushed = false;
@@ -348,17 +339,17 @@ void CheckerPool::set_inline_offloaded(bool offload) {
 }
 
 std::size_t CheckerPool::thread_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<sync::BackendMutex> lock(mu_);
   return workers_.size();
 }
 
 std::size_t CheckerPool::monitor_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<sync::BackendMutex> lock(mu_);
   return entries_.size();
 }
 
 std::size_t CheckerPool::scheduled_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<sync::BackendMutex> lock(mu_);
   std::size_t count = 0;
   for (const auto& [id, entry] : entries_) {
     if (entry->scheduled) ++count;
@@ -367,7 +358,7 @@ std::size_t CheckerPool::scheduled_count() const {
 }
 
 util::TimeNs CheckerPool::period(MonitorId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<sync::BackendMutex> lock(mu_);
   auto it = entries_.find(id);
   if (it == entries_.end()) {
     throw std::invalid_argument("CheckerPool::period: unknown monitor id");
@@ -376,7 +367,7 @@ util::TimeNs CheckerPool::period(MonitorId id) const {
 }
 
 util::TimeNs CheckerPool::effective_period(MonitorId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<sync::BackendMutex> lock(mu_);
   auto it = entries_.find(id);
   if (it == entries_.end()) {
     throw std::invalid_argument(
@@ -386,7 +377,7 @@ util::TimeNs CheckerPool::effective_period(MonitorId id) const {
 }
 
 double CheckerPool::stretch(MonitorId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<sync::BackendMutex> lock(mu_);
   auto it = entries_.find(id);
   if (it == entries_.end()) {
     throw std::invalid_argument("CheckerPool::stretch: unknown monitor id");
@@ -563,7 +554,7 @@ void CheckerPool::contribute_wait_edges(const Entry& entry,
   core::WaitContribution contribution = core::make_wait_contribution(
       entry.id, entry.monitor->spec().name, 0, state,
       entry.monitor->symbols());
-  std::lock_guard<std::mutex> lock(graph_mu_);
+  std::lock_guard<sync::BackendMutex> lock(graph_mu_);
   contribution.epoch = graph_epoch_;
   graph_.update(std::move(contribution));
 }
@@ -573,7 +564,7 @@ void CheckerPool::contribute_lock_order(const Entry& entry,
   // observe() joins this snapshot against every other monitor's current
   // accesses, so the whole fold runs under the order-graph lock.  The
   // access sets are one snapshot deep per monitor, keeping the join small.
-  std::lock_guard<std::mutex> lock(lockorder_mu_);
+  std::lock_guard<sync::BackendMutex> lock(lockorder_mu_);
   order_graph_.observe(entry.id, entry.monitor->spec().name,
                        lockorder_epoch_, state);
 }
@@ -583,7 +574,7 @@ bool CheckerPool::validate_cycle(const core::DeadlockCycle& cycle) {
   // we re-snapshot it.  A monitor that already unregistered voids the cycle.
   std::vector<Entry*> pinned;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<sync::BackendMutex> lock(mu_);
     for (const auto& link : cycle.links) {
       auto it = entries_.find(link.monitor);
       if (it == entries_.end()) {
@@ -623,7 +614,7 @@ bool CheckerPool::validate_cycle(const core::DeadlockCycle& cycle) {
     }
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<sync::BackendMutex> lock(mu_);
     for (Entry* entry : pinned) --entry->busy;
   }
   idle_cv_.notify_all();
@@ -632,10 +623,10 @@ bool CheckerPool::validate_cycle(const core::DeadlockCycle& cycle) {
 
 std::size_t CheckerPool::run_waitfor_checkpoint() {
   if (!waitfor_enabled()) return 0;
-  std::lock_guard<std::mutex> pass_lock(checkpoint_pass_mu_);
+  std::lock_guard<sync::BackendMutex> pass_lock(checkpoint_pass_mu_);
   std::vector<core::DeadlockCycle> candidates;
   {
-    std::lock_guard<std::mutex> lock(graph_mu_);
+    std::lock_guard<sync::BackendMutex> lock(graph_mu_);
     ++graph_epoch_;
     candidates = graph_.find_cycles();
   }
@@ -650,7 +641,7 @@ std::size_t CheckerPool::run_waitfor_checkpoint() {
     confirmed_keys.insert(key);
     bool already_reported;
     {
-      std::lock_guard<std::mutex> lock(graph_mu_);
+      std::lock_guard<sync::BackendMutex> lock(graph_mu_);
       std::vector<MonitorId> monitors;
       monitors.reserve(cycle.links.size());
       for (const auto& link : cycle.links) monitors.push_back(link.monitor);
@@ -668,7 +659,7 @@ std::size_t CheckerPool::run_waitfor_checkpoint() {
   // Forget cycles that no longer hold, so a deadlock that dissolves (e.g.
   // poisoned monitors) and later re-forms is reported again.
   {
-    std::lock_guard<std::mutex> lock(graph_mu_);
+    std::lock_guard<sync::BackendMutex> lock(graph_mu_);
     std::erase_if(reported_cycles_, [&](const auto& reported) {
       return confirmed_keys.find(reported.first) == confirmed_keys.end();
     });
@@ -680,12 +671,12 @@ std::size_t CheckerPool::run_waitfor_checkpoint() {
 }
 
 std::uint64_t CheckerPool::waitfor_epoch() const {
-  std::lock_guard<std::mutex> lock(graph_mu_);
+  std::lock_guard<sync::BackendMutex> lock(graph_mu_);
   return graph_epoch_;
 }
 
 std::size_t CheckerPool::waitfor_graph_monitors() const {
-  std::lock_guard<std::mutex> lock(graph_mu_);
+  std::lock_guard<sync::BackendMutex> lock(graph_mu_);
   return graph_.monitor_count();
 }
 
@@ -707,7 +698,7 @@ std::size_t CheckerPool::run_lockorder_checkpoint() {
   std::vector<core::OrderEdge> edges_snapshot;
   std::size_t present = 0;
   {
-    std::lock_guard<std::mutex> lock(lockorder_mu_);
+    std::lock_guard<sync::BackendMutex> lock(lockorder_mu_);
     ++lockorder_epoch_;
     for (core::OrderCycle& cycle : order_graph_.find_cycles()) {
       ++present;
@@ -732,22 +723,22 @@ std::size_t CheckerPool::run_lockorder_checkpoint() {
 }
 
 std::uint64_t CheckerPool::lockorder_epoch() const {
-  std::lock_guard<std::mutex> lock(lockorder_mu_);
+  std::lock_guard<sync::BackendMutex> lock(lockorder_mu_);
   return lockorder_epoch_;
 }
 
 std::size_t CheckerPool::lockorder_edge_count() const {
-  std::lock_guard<std::mutex> lock(lockorder_mu_);
+  std::lock_guard<sync::BackendMutex> lock(lockorder_mu_);
   return order_graph_.edge_count();
 }
 
 std::vector<core::OrderEdge> CheckerPool::lockorder_edges() const {
-  std::lock_guard<std::mutex> lock(lockorder_mu_);
+  std::lock_guard<sync::BackendMutex> lock(lockorder_mu_);
   return order_graph_.edges();
 }
 
 CheckerPool::Entry* CheckerPool::pin_entry(MonitorId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<sync::BackendMutex> lock(mu_);
   auto it = entries_.find(id);
   if (it == entries_.end()) return nullptr;
   ++it->second->busy;  // remove() waits for busy == 0
@@ -757,7 +748,7 @@ CheckerPool::Entry* CheckerPool::pin_entry(MonitorId id) {
 void CheckerPool::unpin_entry(Entry* entry) {
   if (entry == nullptr) return;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<sync::BackendMutex> lock(mu_);
     --entry->busy;
   }
   idle_cv_.notify_all();
@@ -783,11 +774,11 @@ void CheckerPool::act_on_confirmed_cycle(const core::DeadlockCycle& cycle) {
     // check_mu spans the action and the re-baseline: a periodic check must
     // never observe the post-action queues against a pre-action baseline
     // (that mismatch would read as an ST-Rule violation).
-    std::lock_guard<std::mutex> check_lock(entry->check_mu);
+    std::lock_guard<sync::BackendMutex> check_lock(entry->check_mu);
     if (decision.remedy == core::RecoveryRemedy::kPoisonVictim) {
       entry->monitor->recovery_poison();
       {
-        std::lock_guard<std::mutex> recovery_lock(recovery_mu_);
+        std::lock_guard<sync::BackendMutex> recovery_lock(recovery_mu_);
         active_poisons_[cycle.key()] = entry->id;
       }
       victims_poisoned_.fetch_add(1, std::memory_order_relaxed);
@@ -828,7 +819,7 @@ void CheckerPool::complete_recoveries(
     const std::unordered_set<std::string>& confirmed_keys) {
   std::vector<std::pair<std::string, MonitorId>> completed;
   {
-    std::lock_guard<std::mutex> recovery_lock(recovery_mu_);
+    std::lock_guard<sync::BackendMutex> recovery_lock(recovery_mu_);
     for (auto it = active_poisons_.begin(); it != active_poisons_.end();) {
       if (confirmed_keys.find(it->first) != confirmed_keys.end()) {
         ++it;
@@ -843,7 +834,7 @@ void CheckerPool::complete_recoveries(
     if (entry == nullptr) continue;
     std::string name;
     {
-      std::lock_guard<std::mutex> check_lock(entry->check_mu);
+      std::lock_guard<sync::BackendMutex> check_lock(entry->check_mu);
       entry->monitor->unpoison();
       // Detection was suspended for the poison window; restart it from
       // the restored-service state.
@@ -863,17 +854,17 @@ void CheckerPool::complete_recoveries(
 }
 
 void CheckerPool::log_recovery(trace::RecoveryRecord record) {
-  std::lock_guard<std::mutex> lock(recovery_mu_);
+  std::lock_guard<sync::BackendMutex> lock(recovery_mu_);
   recovery_log_.push_back(std::move(record));
 }
 
 std::vector<trace::RecoveryRecord> CheckerPool::recovery_log() const {
-  std::lock_guard<std::mutex> lock(recovery_mu_);
+  std::lock_guard<sync::BackendMutex> lock(recovery_mu_);
   return recovery_log_;
 }
 
 std::uint64_t CheckerPool::events_lost() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<sync::BackendMutex> lock(mu_);
   std::uint64_t lost = 0;
   for (const auto& [id, entry] : entries_) {
     if (entry->monitor != nullptr) lost += entry->monitor->events_lost();
@@ -882,7 +873,7 @@ std::uint64_t CheckerPool::events_lost() const {
 }
 
 void CheckerPool::run_checkpoint_item_locked(
-    std::unique_lock<std::mutex>& lock, MonitorId id) {
+    std::unique_lock<sync::BackendMutex>& lock, MonitorId id) {
   heap_.pop();  // this worker owns the pass; re-pushed when done
   dispatches_.fetch_add(1, std::memory_order_relaxed);
   lock.unlock();
@@ -920,7 +911,7 @@ void CheckerPool::run_checkpoint_item_locked(
 }
 
 void CheckerPool::worker_loop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<sync::BackendMutex> lock(mu_);
   std::vector<BatchSlot> batch;
   while (!stop_) {
     if (heap_.empty()) {
@@ -994,7 +985,7 @@ void CheckerPool::worker_loop() {
       // under mu_ and skip the now-pointless check (dropping the pin
       // immediately) instead of making the caller wait on it.
       {
-        std::lock_guard<std::mutex> relock(mu_);
+        std::lock_guard<sync::BackendMutex> relock(mu_);
         if (!entry.scheduled || entry.generation != slot.item.generation) {
           --entry.busy;
           slot.entry = nullptr;
@@ -1005,7 +996,7 @@ void CheckerPool::worker_loop() {
         continue;
       }
       {
-        std::lock_guard<std::mutex> check_lock(entry.check_mu);
+        std::lock_guard<sync::BackendMutex> check_lock(entry.check_mu);
         slot.stats = run_check(entry, rule_now, &slot.occupied);
       }
       batched_checks_.fetch_add(1, std::memory_order_relaxed);
@@ -1015,7 +1006,7 @@ void CheckerPool::worker_loop() {
       // check instead of after the whole batch.  The entry pointer is only
       // safe before the busy drop: remove() may free it right after.
       {
-        std::lock_guard<std::mutex> relock(mu_);
+        std::lock_guard<sync::BackendMutex> relock(mu_);
         // Deadlines restart from the item's original due time, so checks
         // the window pulled forward keep their cadence grid; the backlog
         // policy bounds what happens when a check outlasts its period.

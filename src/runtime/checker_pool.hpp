@@ -138,13 +138,11 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <queue>
-#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -154,6 +152,7 @@
 #include "core/recovery.hpp"
 #include "core/waitfor.hpp"
 #include "runtime/budget.hpp"
+#include "sync/backend.hpp"
 #include "runtime/event_sink.hpp"
 #include "trace/codec.hpp"
 
@@ -173,10 +172,13 @@ class CheckerPool {
     /// [1, hardware concurrency].
     std::size_t threads = 0;
     /// Supplies the timestamps the detection rules evaluate against (Tmax,
-    /// Tio, Tlimit).  The check *cadence* is always wall-clock, like the
-    /// original PeriodicChecker loop, so a frozen ManualClock cannot stall
-    /// periodic checking.
-    const util::Clock* clock = &util::SteadyClock::instance();
+    /// Tio, Tlimit).  The check *cadence* is always the backend wall clock,
+    /// like the original PeriodicChecker loop, so a frozen ManualClock
+    /// cannot stall periodic checking.  Defaults to the sync backend's
+    /// clock: real steady_clock normally, the SimScheduler's virtual clock
+    /// under ROBMON_SYNC_BACKEND_SIM — rules and cadence then share one
+    /// deterministic timeline.
+    const util::Clock* clock = sync::backend_clock();
     /// Batch window W: a dispatching worker also drains monitors due within
     /// W of now, amortizing wake-ups across near-simultaneous deadlines.
     /// -1 = auto (the dispatch head's own check period — one quantum);
@@ -305,7 +307,10 @@ class CheckerPool {
 
   /// One synchronous checking-routine invocation on the caller's thread;
   /// serialized against any worker checking the same monitor.  Feeds the
-  /// adaptive-cadence controller like a periodic check.
+  /// adaptive-cadence controller like a periodic check.  An unknown or
+  /// just-removed id returns an empty CheckStats deterministically (the
+  /// schedule explorer calls this mid-churn, where an id can vanish between
+  /// the caller's lookup and the call).
   core::Detector::CheckStats check_now(MonitorId id);
 
   /// check_now() for an inline-instrumented call site: same synchronous
@@ -481,8 +486,9 @@ class CheckerPool {
     bool scheduled = false;
     /// Checks currently executing against this entry (worker or check_now).
     int busy = 0;
-    /// Serializes the actual checking routine per monitor.
-    std::mutex check_mu;
+    /// Serializes the actual checking routine per monitor.  Backend mutex:
+    /// held across the gate quiesce, which blocks.
+    sync::BackendMutex check_mu;
   };
 
   struct HeapItem {
@@ -522,7 +528,7 @@ class CheckerPool {
                                util::TimeNs finished);
   /// Handle a due pool-level checkpoint heap item (`id` names which of the
   /// two).  Lock held on entry and exit; released around the pass itself.
-  void run_checkpoint_item_locked(std::unique_lock<std::mutex>& lock,
+  void run_checkpoint_item_locked(std::unique_lock<sync::BackendMutex>& lock,
                                   MonitorId id);
 
   bool waitfor_enabled() const {
@@ -585,12 +591,12 @@ class CheckerPool {
   /// Pool-wide overhead governor (Options::budget; no-op when disabled).
   BudgetController budget_;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;   ///< Heap / stop changes.
-  std::condition_variable idle_cv_;   ///< Entry busy-count drops.
+  mutable sync::BackendMutex mu_;
+  sync::BackendCondVar work_cv_;   ///< Heap / stop changes.
+  sync::BackendCondVar idle_cv_;   ///< Entry busy-count drops.
   std::unordered_map<MonitorId, std::unique_ptr<Entry>> entries_;
   std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap_;
-  std::vector<std::thread> workers_;
+  std::vector<sync::BackendThread> workers_;
   MonitorId next_id_ = kFirstMonitorId;  ///< 0/1 are reserved checkpoints.
   bool stop_ = false;
   bool checkpoint_scheduled_ = false;  ///< WF checkpoint item on the heap.
@@ -601,8 +607,8 @@ class CheckerPool {
   /// Serializes whole checkpoint passes: a periodic worker pass racing a
   /// synchronous run_waitfor_checkpoint() could otherwise erase the other
   /// pass's reported_cycles_ entry and double-report a persisting cycle.
-  std::mutex checkpoint_pass_mu_;
-  mutable std::mutex graph_mu_;
+  sync::BackendMutex checkpoint_pass_mu_;
+  mutable sync::BackendMutex graph_mu_;
   core::WaitForGraph graph_;
   /// Bumped per checkpoint pass and stamped into contributions — the
   /// version telemetry behind waitfor_epoch()/WaitContribution::epoch.
@@ -619,7 +625,7 @@ class CheckerPool {
 
   /// Lock-order prediction state.  Lock order: mu_ before lockorder_mu_,
   /// never the reverse (remove() erases a monitor's edges under mu_).
-  mutable std::mutex lockorder_mu_;
+  mutable sync::BackendMutex lockorder_mu_;
   core::LockOrderGraph order_graph_;
   std::uint64_t lockorder_epoch_ = 0;
   /// Order cycles already warned about, keyed by canonical cycle key and
@@ -635,7 +641,7 @@ class CheckerPool {
   /// checkpoint_pass_mu_; order-side actuations are not — they rely on
   /// the Gate's and the counters' own synchronization, so any new shared
   /// state touched from act_on_order_cycle needs its own guard.
-  mutable std::mutex recovery_mu_;
+  mutable sync::BackendMutex recovery_mu_;
   std::vector<trace::RecoveryRecord> recovery_log_;
   /// Sticky poisons by cycle key: cleared (and the monitor unpoisoned) by
   /// the first wait-for pass that no longer confirms the cycle.

@@ -134,7 +134,7 @@ void RobustMonitor::poll_inline_check() {
   if (!inline_mode_ || !inline_active_.load(std::memory_order_relaxed)) {
     return;
   }
-  const util::TimeNs now = util::SteadyClock::instance().now_ns();
+  const util::TimeNs now = sync::backend_now();
   util::TimeNs due = next_inline_check_.load(std::memory_order_relaxed);
   if (now < due) return;  // the steady-state exit: one clock read + compare
   if (pool_->inline_offloaded()) return;  // pressure: the pool owns us now
@@ -153,9 +153,9 @@ void RobustMonitor::start_checking() {
   if (pool_ != nullptr) {
     pool_->schedule(pool_id_);
     if (inline_mode_) {
-      next_inline_check_.store(util::SteadyClock::instance().now_ns() +
-                                   pool_->period(pool_id_),
-                               std::memory_order_relaxed);
+      next_inline_check_.store(
+          sync::backend_now() + pool_->period(pool_id_),
+          std::memory_order_relaxed);
       inline_active_.store(true, std::memory_order_relaxed);
     }
   } else {

@@ -38,7 +38,9 @@ namespace robmon::rt {
 class RobustMonitor {
  public:
   struct Options {
-    const util::Clock* clock = &util::SteadyClock::instance();
+    /// Backend clock: real steady_clock normally, the SimScheduler's
+    /// virtual clock under ROBMON_SYNC_BACKEND_SIM.
+    const util::Clock* clock = sync::backend_clock();
     inject::InjectionController* injection =
         &inject::NullInjection::instance();
     Instrumentation instrumentation = Instrumentation::kFull;

@@ -16,16 +16,16 @@
 #include <vector>
 
 #include "sim/task.hpp"
+#include "sync/schedule_policy.hpp"
 #include "trace/event.hpp"
 #include "util/clock.hpp"
 #include "util/rng.hpp"
 
 namespace robmon::sim {
 
-enum class SchedulePolicy {
-  kFifo,    ///< Round-robin over runnable processes.
-  kRandom,  ///< Uniform random pick among runnable processes (seeded).
-};
+/// Shared with the fiber-based sync::SimScheduler (sync/sim_backend.hpp) so
+/// a seed + policy means the same thing in both deterministic worlds.
+using SchedulePolicy = sync::SchedulePolicy;
 
 class Scheduler {
  public:

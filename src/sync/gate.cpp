@@ -5,19 +5,19 @@
 namespace robmon::sync {
 
 void CheckerGate::enter_shared() {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<BackendMutex> lock(mu_);
   cv_.wait(lock, [&] { return !exclusive_held_ && writers_waiting_ == 0; });
   ++shared_holders_;
 }
 
 void CheckerGate::exit_shared() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<BackendMutex> lock(mu_);
   --shared_holders_;
   if (shared_holders_ == 0) cv_.notify_all();
 }
 
 void CheckerGate::enter_exclusive() {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<BackendMutex> lock(mu_);
   ++writers_waiting_;
   cv_.wait(lock, [&] { return !exclusive_held_ && shared_holders_ == 0; });
   --writers_waiting_;
@@ -26,7 +26,7 @@ void CheckerGate::enter_exclusive() {
 
 void CheckerGate::exit_exclusive() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<BackendMutex> lock(mu_);
     exclusive_held_ = false;
   }
   cv_.notify_all();
@@ -34,7 +34,7 @@ void CheckerGate::exit_exclusive() {
 
 void Gate::impose(std::vector<std::string> order,
                   std::vector<trace::Pid> fenced) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<BackendMutex> lock(mu_);
   engaged_ = true;
   ++impositions_;
   // Merge: independent cycles impose disjoint orders, and clobbering an
@@ -50,7 +50,7 @@ void Gate::impose(std::vector<std::string> order,
 
 void Gate::clear() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<BackendMutex> lock(mu_);
     engaged_ = false;
     fenced_.clear();
     order_.clear();
@@ -60,22 +60,22 @@ void Gate::clear() {
 }
 
 bool Gate::engaged() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<BackendMutex> lock(mu_);
   return engaged_;
 }
 
 bool Gate::is_fenced(trace::Pid pid) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<BackendMutex> lock(mu_);
   return engaged_ && fenced_.count(pid) != 0;
 }
 
 std::vector<std::string> Gate::imposed_order() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<BackendMutex> lock(mu_);
   return order_;
 }
 
 void Gate::apply_order(std::vector<std::string>& monitors) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<BackendMutex> lock(mu_);
   if (!engaged_ || rank_.empty()) return;
   std::stable_sort(monitors.begin(), monitors.end(),
                    [this](const std::string& a, const std::string& b) {
@@ -90,17 +90,17 @@ void Gate::apply_order(std::vector<std::string>& monitors) const {
 }
 
 std::uint64_t Gate::impositions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<BackendMutex> lock(mu_);
   return impositions_;
 }
 
 std::uint64_t Gate::fenced_crossings() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<BackendMutex> lock(mu_);
   return fenced_crossings_;
 }
 
 Gate::Side Gate::enter(trace::Pid pid) {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<BackendMutex> lock(mu_);
   if (engaged_ && fenced_.count(pid) != 0) {
     // Fenced crossing: exclusive against everything, writer priority so a
     // steady stream of shared crossings cannot starve it.
@@ -122,7 +122,7 @@ Gate::Side Gate::enter(trace::Pid pid) {
 
 void Gate::exit(Side side) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<BackendMutex> lock(mu_);
     if (side == Side::kExclusive) {
       exclusive_held_ = false;
     } else {

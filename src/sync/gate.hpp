@@ -10,14 +10,13 @@
 // checker reads state.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "sync/backend.hpp"
 #include "trace/event.hpp"
 
 namespace robmon::sync {
@@ -65,8 +64,8 @@ class CheckerGate {
   };
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
+  BackendMutex mu_;
+  BackendCondVar cv_;
   std::int64_t shared_holders_ = 0;
   std::int64_t writers_waiting_ = 0;
   bool exclusive_held_ = false;
@@ -147,8 +146,8 @@ class Gate {
   };
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable BackendMutex mu_;
+  BackendCondVar cv_;
   bool engaged_ = false;
   std::unordered_set<trace::Pid> fenced_;
   std::vector<std::string> order_;

@@ -1,0 +1,60 @@
+// RealBackend: the production synchronization backend.  Every alias maps
+// straight onto the std/pthread primitive the runtime has always used, and
+// every function is a thin inline wrapper, so selecting this backend (the
+// default) costs nothing over writing std::mutex by hand.
+//
+// The seam exists so that the same runtime sources can be compiled against
+// SimBackend (sync/sim_backend.hpp), which routes blocking and time onto a
+// deterministic fiber scheduler — the cxxtrace real_/relacy_synchronization.h
+// pattern.  Code under src/ that can block, or that reads time for cadence /
+// budget decisions, must go through these names rather than naming std
+// types directly; pure data-protecting mutexes that are never held across a
+// blocking call may stay std::mutex.
+#pragma once
+
+#include <pthread.h>
+#include <time.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "util/clock.hpp"
+
+namespace robmon::sync {
+
+struct RealBackend {
+  using Mutex = std::mutex;
+  using CondVar = std::condition_variable;
+  using Thread = std::thread;
+
+  /// Monotone wall clock (cadence, deadlines).
+  static util::TimeNs now() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  /// Per-thread CPU clock (budget spend measurement).
+  static util::TimeNs cpu_now() {
+    timespec ts{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<util::TimeNs>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+  }
+
+  static void sleep_for(util::TimeNs delta) {
+    if (delta > 0) std::this_thread::sleep_for(std::chrono::nanoseconds(delta));
+  }
+
+  static void yield() { std::this_thread::yield(); }
+
+  static unsigned hardware_concurrency() {
+    return std::thread::hardware_concurrency();
+  }
+
+  /// Clock instance for detection-rule timestamps (Options::clock defaults).
+  static const util::Clock* clock() { return &util::SteadyClock::instance(); }
+};
+
+}  // namespace robmon::sync

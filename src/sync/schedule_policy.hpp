@@ -1,0 +1,15 @@
+// Schedule policy shared by every deterministic scheduler in the tree: the
+// coroutine simulator (sim::Scheduler) and the fiber-based SimBackend
+// (sync::SimScheduler) make every interleaving decision through the same
+// seeded policy enum, so a seed means the same thing in both worlds and
+// replay commands are portable between them.
+#pragma once
+
+namespace robmon::sync {
+
+enum class SchedulePolicy {
+  kFifo,    ///< Round-robin over runnable processes.
+  kRandom,  ///< Uniform random pick among runnable processes (seeded).
+};
+
+}  // namespace robmon::sync

@@ -5,7 +5,7 @@
 namespace robmon::sync {
 
 AcquireResult Semaphore::acquire() {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<BackendMutex> lock(mu_);
   cv_.wait(lock, [&] { return count_ > 0 || poisoned_; });
   if (poisoned_) return AcquireResult::kPoisoned;
   --count_;
@@ -13,7 +13,7 @@ AcquireResult Semaphore::acquire() {
 }
 
 AcquireResult Semaphore::timed_acquire(std::int64_t timeout_ns) {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<BackendMutex> lock(mu_);
   const bool ready =
       cv_.wait_for(lock, std::chrono::nanoseconds(timeout_ns),
                    [&] { return count_ > 0 || poisoned_; });
@@ -24,7 +24,7 @@ AcquireResult Semaphore::timed_acquire(std::int64_t timeout_ns) {
 }
 
 bool Semaphore::try_acquire() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<BackendMutex> lock(mu_);
   if (poisoned_ || count_ <= 0) return false;
   --count_;
   return true;
@@ -38,7 +38,7 @@ bool Semaphore::try_acquire() {
 // cannot return) until the notify has completed.
 
 void Semaphore::release(std::int64_t permits) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<BackendMutex> lock(mu_);
   count_ += permits;
   if (permits == 1) {
     cv_.notify_one();
@@ -48,18 +48,18 @@ void Semaphore::release(std::int64_t permits) {
 }
 
 void Semaphore::poison() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<BackendMutex> lock(mu_);
   poisoned_ = true;
   cv_.notify_all();
 }
 
 bool Semaphore::poisoned() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<BackendMutex> lock(mu_);
   return poisoned_;
 }
 
 std::int64_t Semaphore::available() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<BackendMutex> lock(mu_);
   return count_;
 }
 

@@ -5,11 +5,17 @@
 // std::counting_semaphore) so that waiters can be *poisoned*: after a fault
 // has been injected and detected, test harnesses must be able to release
 // every parked thread and unwind cleanly.
+// Blocking and wakeup go through the sync backend seam (sync/backend.hpp):
+// the real build uses std::mutex + std::condition_variable exactly as
+// before, while the sim build parks the calling fiber on the deterministic
+// scheduler — this is the primitive every HoareMonitor waiter sleeps on, so
+// porting it moves all monitor blocking onto virtual time.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <mutex>
+
+#include "sync/backend.hpp"
 
 namespace robmon::sync {
 
@@ -48,8 +54,8 @@ class Semaphore {
   std::int64_t available() const;
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable BackendMutex mu_;
+  BackendCondVar cv_;
   std::int64_t count_;
   bool poisoned_ = false;
 };

@@ -1,0 +1,507 @@
+#include "sync/sim_backend.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+// --- Sanitizer fiber annotations. -------------------------------------------
+// ucontext switches move the stack pointer between heap-allocated stacks;
+// without these hooks ASan's fake-stack machinery and TSan's shadow-stack
+// tracking both misfire.  Declared by hand (extern "C", exact sanitizer-ABI
+// signatures) so the build does not depend on sanitizer headers being
+// installed.
+#if defined(__SANITIZE_ADDRESS__)
+#define ROBMON_ASAN_FIBERS 1
+#endif
+#if defined(__SANITIZE_THREAD__)
+#define ROBMON_TSAN_FIBERS 1
+#endif
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define ROBMON_ASAN_FIBERS 1
+#endif
+#if __has_feature(thread_sanitizer)
+#define ROBMON_TSAN_FIBERS 1
+#endif
+#endif
+
+#if defined(ROBMON_ASAN_FIBERS)
+extern "C" {
+void __sanitizer_start_switch_fiber(void** fake_stack_save, const void* bottom,
+                                    size_t size);
+void __sanitizer_finish_switch_fiber(void* fake_stack_save,
+                                     const void** bottom_old, size_t* size_old);
+}
+#endif
+#if defined(ROBMON_TSAN_FIBERS)
+extern "C" {
+void* __tsan_get_current_fiber(void);
+void* __tsan_create_fiber(unsigned flags);
+void __tsan_destroy_fiber(void* fiber);
+void __tsan_switch_to_fiber(void* fiber, unsigned flags);
+}
+#endif
+
+namespace robmon::sync {
+
+namespace {
+
+thread_local SimScheduler* g_current_scheduler = nullptr;
+
+}  // namespace
+
+// --- SimScheduler. -----------------------------------------------------------
+
+SimScheduler* SimScheduler::current() { return g_current_scheduler; }
+
+SimScheduler::SimScheduler(Options options)
+    : options_(options), clock_(0), rng_(options.seed) {
+#if defined(ROBMON_TSAN_FIBERS)
+  root_tsan_fiber_ = __tsan_get_current_fiber();
+#endif
+  prev_installed_ = g_current_scheduler;
+  g_current_scheduler = this;
+}
+
+SimScheduler::~SimScheduler() {
+#if defined(ROBMON_TSAN_FIBERS)
+  for (auto& fiber : fibers_) {
+    if (fiber->tsan_fiber != nullptr) __tsan_destroy_fiber(fiber->tsan_fiber);
+  }
+#endif
+  g_current_scheduler = prev_installed_;
+}
+
+int SimScheduler::spawn(std::function<void()> body, std::string name) {
+  const int id = static_cast<int>(fibers_.size());
+  auto fiber = std::make_unique<Fiber>();
+  fiber->id = id;
+  fiber->name = name.empty() ? "fiber-" + std::to_string(id) : std::move(name);
+  fiber->body = std::move(body);
+  fiber->stack = std::make_unique<char[]>(options_.stack_bytes);
+  getcontext(&fiber->ctx);
+  fiber->ctx.uc_stack.ss_sp = fiber->stack.get();
+  fiber->ctx.uc_stack.ss_size = options_.stack_bytes;
+  fiber->ctx.uc_link = nullptr;
+  const auto self = reinterpret_cast<std::uintptr_t>(this);
+  makecontext(&fiber->ctx,
+              reinterpret_cast<void (*)()>(&SimScheduler::trampoline), 2, static_cast<unsigned>(self >> 32),
+              static_cast<unsigned>(self & 0xFFFFFFFFu));
+#if defined(ROBMON_TSAN_FIBERS)
+  fiber->tsan_fiber = __tsan_create_fiber(0);
+#endif
+  fiber->state = FState::kRunnable;
+  fibers_.push_back(std::move(fiber));
+  runnable_.push_back(id);
+  return id;
+}
+
+void SimScheduler::trampoline(unsigned hi, unsigned lo) {
+  auto* scheduler = reinterpret_cast<SimScheduler*>(
+      (static_cast<std::uintptr_t>(hi) << 32) |
+      static_cast<std::uintptr_t>(lo));
+  Fiber& fiber = *scheduler->fibers_[scheduler->current_];
+#if defined(ROBMON_ASAN_FIBERS)
+  // First entry: learn the run loop's (root) stack bounds from the switch we
+  // just arrived on, so fiber->root switches can name them.
+  __sanitizer_finish_switch_fiber(fiber.fake_stack,
+                                  &scheduler->root_stack_bottom_,
+                                  &scheduler->root_stack_size_);
+#endif
+  scheduler->fiber_main(fiber);
+  std::abort();  // fiber_main switches away for good; never reached.
+}
+
+void SimScheduler::fiber_main(Fiber& fiber) {
+  try {
+    fiber.body();
+  } catch (...) {
+    fiber.exception = std::current_exception();
+  }
+  fiber.body = nullptr;  // Release captures while the fiber is still "alive".
+  fiber.state = FState::kDone;
+  for (int joiner : fiber.joiners) unpark(joiner);
+  fiber.joiners.clear();
+  switch_context(&fiber, nullptr, /*dying=*/true);
+}
+
+void SimScheduler::switch_context(Fiber* self, Fiber* to,
+                                  [[maybe_unused]] bool dying) {
+  ucontext_t* from_ctx = self != nullptr ? &self->ctx : &root_ctx_;
+  ucontext_t* to_ctx = to != nullptr ? &to->ctx : &root_ctx_;
+#if defined(ROBMON_ASAN_FIBERS)
+  const void* to_bottom =
+      to != nullptr ? static_cast<const void*>(to->stack.get())
+                    : root_stack_bottom_;
+  const std::size_t to_size =
+      to != nullptr ? options_.stack_bytes : root_stack_size_;
+  void** save =
+      dying ? nullptr
+            : (self != nullptr ? &self->fake_stack : &root_fake_stack_);
+  __sanitizer_start_switch_fiber(save, to_bottom, to_size);
+#endif
+#if defined(ROBMON_TSAN_FIBERS)
+  __tsan_switch_to_fiber(to != nullptr ? to->tsan_fiber : root_tsan_fiber_, 0);
+#endif
+  swapcontext(from_ctx, to_ctx);
+  // Control has come back to `self` (dying switches never return).
+#if defined(ROBMON_ASAN_FIBERS)
+  __sanitizer_finish_switch_fiber(
+      self != nullptr ? self->fake_stack : root_fake_stack_, nullptr, nullptr);
+#endif
+}
+
+void SimScheduler::switch_to_scheduler() {
+  Fiber& fiber = require_fiber("switch_to_scheduler");
+  switch_context(&fiber, nullptr, /*dying=*/false);
+}
+
+SimScheduler::Fiber& SimScheduler::require_fiber(const char* what) {
+  if (current_ < 0) {
+    throw std::logic_error(std::string("SimScheduler::") + what +
+                           ": blocking operation outside a fiber (wrap the "
+                           "scenario body in spawn())");
+  }
+  return *fibers_[static_cast<std::size_t>(current_)];
+}
+
+void SimScheduler::mix_digest(std::uint64_t value) {
+  digest_ = (digest_ ^ value) * 1099511628211ULL;  // FNV-1a prime.
+}
+
+int SimScheduler::pick_next() {
+  std::size_t index = 0;
+  if (options_.policy == SchedulePolicy::kRandom && runnable_.size() > 1) {
+    index = rng_.below(runnable_.size());
+  }
+  const int fiber = runnable_[index];
+  runnable_.erase(runnable_.begin() + static_cast<std::ptrdiff_t>(index));
+  return fiber;
+}
+
+util::TimeNs SimScheduler::service_timers() {
+  const util::TimeNs now = clock_.now_ns();
+  util::TimeNs earliest = -1;
+  for (auto& fiber : fibers_) {
+    if (fiber->state != FState::kSleeping &&
+        fiber->state != FState::kParkedTimed) {
+      continue;
+    }
+    if (fiber->wake_at <= now) {
+      fiber->state = FState::kRunnable;  // woken_by_unpark false: timeout
+      runnable_.push_back(fiber->id);
+    } else if (earliest < 0 || fiber->wake_at < earliest) {
+      earliest = fiber->wake_at;
+    }
+  }
+  return earliest;
+}
+
+SimScheduler::StopReason SimScheduler::run(std::uint64_t max_steps) {
+  if (in_fiber()) {
+    throw std::logic_error("SimScheduler::run called from inside a fiber");
+  }
+  const std::uint64_t budget_end = steps_ + max_steps;
+  for (;;) {
+    const util::TimeNs next_wake = service_timers();
+    if (runnable_.empty()) {
+      if (next_wake < 0) {
+        return live_count() == 0 ? StopReason::kAllDone
+                                 : StopReason::kQuiescent;
+      }
+      // Everyone is waiting on a timer: jump virtual time to the earliest.
+      clock_.set(std::max(clock_.now_ns(), next_wake));
+      mix_digest(0x6A09E667F3BCC909ULL ^ static_cast<std::uint64_t>(next_wake));
+      continue;
+    }
+    if (steps_ >= budget_end) return StopReason::kMaxSteps;
+    const int fid = pick_next();
+    mix_digest(static_cast<std::uint64_t>(fid) + 0x100);
+    ++steps_;
+    clock_.advance(options_.tick_ns);
+    Fiber& fiber = *fibers_[static_cast<std::size_t>(fid)];
+    current_ = fid;
+    switch_context(nullptr, &fiber, /*dying=*/false);
+    current_ = -1;
+    if (fiber.state == FState::kRunnable) runnable_.push_back(fid);
+  }
+}
+
+void SimScheduler::yield_fiber() {
+  require_fiber("yield_fiber");
+  switch_to_scheduler();
+}
+
+void SimScheduler::maybe_preempt() {
+  if (current_ < 0) return;
+  if (options_.policy != SchedulePolicy::kRandom) return;
+  if (options_.preempt_probability <= 0.0) return;
+  if (rng_.chance(options_.preempt_probability)) yield_fiber();
+}
+
+void SimScheduler::sleep_fiber(util::TimeNs delta) {
+  Fiber& fiber = require_fiber("sleep_fiber");
+  if (delta <= 0) {
+    switch_to_scheduler();
+    return;
+  }
+  fiber.state = FState::kSleeping;
+  fiber.wake_at = clock_.now_ns() + delta;
+  switch_to_scheduler();
+}
+
+void SimScheduler::park_fiber() {
+  Fiber& fiber = require_fiber("park_fiber");
+  fiber.state = FState::kParked;
+  fiber.woken_by_unpark = false;
+  switch_to_scheduler();
+}
+
+bool SimScheduler::park_fiber_until(util::TimeNs deadline) {
+  Fiber& fiber = require_fiber("park_fiber_until");
+  if (deadline <= clock_.now_ns()) return false;
+  fiber.state = FState::kParkedTimed;
+  fiber.wake_at = deadline;
+  fiber.woken_by_unpark = false;
+  switch_to_scheduler();
+  return fiber.woken_by_unpark;
+}
+
+void SimScheduler::unpark(int fiber_id) {
+  if (fiber_id < 0 || static_cast<std::size_t>(fiber_id) >= fibers_.size()) {
+    return;
+  }
+  Fiber& fiber = *fibers_[static_cast<std::size_t>(fiber_id)];
+  if (fiber.state != FState::kParked && fiber.state != FState::kParkedTimed) {
+    return;  // Not parked (already woken, running, or done): lost-notify safe.
+  }
+  fiber.state = FState::kRunnable;
+  fiber.woken_by_unpark = true;
+  runnable_.push_back(fiber.id);
+}
+
+bool SimScheduler::fiber_done(int fiber_id) const {
+  if (fiber_id < 0 || static_cast<std::size_t>(fiber_id) >= fibers_.size()) {
+    return true;
+  }
+  return fibers_[static_cast<std::size_t>(fiber_id)]->state == FState::kDone;
+}
+
+void SimScheduler::join_fiber(int fiber_id) {
+  if (fiber_done(fiber_id)) return;
+  Fiber& self = require_fiber("join_fiber");
+  while (!fiber_done(fiber_id)) {
+    fibers_[static_cast<std::size_t>(fiber_id)]->joiners.push_back(self.id);
+    park_fiber();
+  }
+}
+
+std::size_t SimScheduler::pick(std::size_t n) {
+  if (n <= 1) return 0;
+  if (options_.policy != SchedulePolicy::kRandom) return 0;
+  return rng_.below(n);
+}
+
+std::size_t SimScheduler::live_count() const {
+  std::size_t live = 0;
+  for (const auto& fiber : fibers_) {
+    if (fiber->state != FState::kDone) ++live;
+  }
+  return live;
+}
+
+const std::string& SimScheduler::fiber_name(int fiber) const {
+  static const std::string kRoot = "<root>";
+  if (fiber < 0 || static_cast<std::size_t>(fiber) >= fibers_.size()) {
+    return kRoot;
+  }
+  return fibers_[static_cast<std::size_t>(fiber)]->name;
+}
+
+void SimScheduler::rethrow_any_failure() const {
+  for (const auto& fiber : fibers_) {
+    if (fiber->exception) std::rethrow_exception(fiber->exception);
+  }
+}
+
+// --- SimMutex. ---------------------------------------------------------------
+
+void SimMutex::lock() {
+  auto* scheduler = SimScheduler::current();
+  if (scheduler == nullptr || !scheduler->in_fiber()) {
+    if (locked_) {
+      throw std::logic_error("SimMutex::lock: contended lock outside a fiber");
+    }
+    locked_ = true;
+    return;
+  }
+  scheduler->maybe_preempt();
+  while (locked_) {
+    waiters_.push_back(scheduler->current_fiber());
+    scheduler->park_fiber();
+  }
+  locked_ = true;
+}
+
+bool SimMutex::try_lock() {
+  if (locked_) return false;
+  locked_ = true;
+  return true;
+}
+
+void SimMutex::unlock() {
+  locked_ = false;
+  if (waiters_.empty()) return;
+  auto* scheduler = SimScheduler::current();
+  if (scheduler == nullptr) {
+    waiters_.clear();
+    return;
+  }
+  // Wake everyone; who actually gets the lock is the scheduler's pick
+  // (barging allowed, exactly like the real primitives).
+  for (const int fiber : waiters_) scheduler->unpark(fiber);
+  waiters_.clear();
+}
+
+// --- SimCondVar. -------------------------------------------------------------
+
+void SimCondVar::notify_one() {
+  if (waiters_.empty()) return;
+  auto* scheduler = SimScheduler::current();
+  if (scheduler == nullptr) return;
+  const std::size_t index = scheduler->pick(waiters_.size());
+  const int fiber = waiters_[index];
+  waiters_.erase(waiters_.begin() + static_cast<std::ptrdiff_t>(index));
+  scheduler->unpark(fiber);
+}
+
+void SimCondVar::notify_all() {
+  if (waiters_.empty()) return;
+  auto* scheduler = SimScheduler::current();
+  if (scheduler == nullptr) {
+    waiters_.clear();
+    return;
+  }
+  for (const int fiber : waiters_) scheduler->unpark(fiber);
+  waiters_.clear();
+}
+
+void SimCondVar::wait(std::unique_lock<SimMutex>& lock) {
+  auto* scheduler = SimScheduler::current();
+  if (scheduler == nullptr || !scheduler->in_fiber()) {
+    throw std::logic_error("SimCondVar::wait outside a fiber");
+  }
+  waiters_.push_back(scheduler->current_fiber());
+  lock.unlock();
+  scheduler->park_fiber();
+  lock.lock();
+}
+
+util::TimeNs SimCondVar::deadline_from(std::int64_t timeout_ns) {
+  const util::TimeNs now = SimBackend::now();
+  if (timeout_ns <= 0) return now;
+  constexpr util::TimeNs kMax = std::numeric_limits<util::TimeNs>::max();
+  return timeout_ns > kMax - now ? kMax : now + timeout_ns;
+}
+
+std::cv_status SimCondVar::wait_until_ns(std::unique_lock<SimMutex>& lock,
+                                         util::TimeNs deadline) {
+  auto* scheduler = SimScheduler::current();
+  if (scheduler == nullptr || !scheduler->in_fiber()) {
+    throw std::logic_error("SimCondVar::wait_for outside a fiber");
+  }
+  const int self = scheduler->current_fiber();
+  waiters_.push_back(self);
+  lock.unlock();
+  const bool woken = scheduler->park_fiber_until(deadline);
+  if (!woken) {
+    // Timed out: deregister (a notify may have raced the timer and already
+    // consumed the entry — the caller's predicate re-check under the lock
+    // keeps that indistinguishable from a spurious wake).
+    const auto it = std::find(waiters_.begin(), waiters_.end(), self);
+    if (it != waiters_.end()) waiters_.erase(it);
+  }
+  lock.lock();
+  return woken ? std::cv_status::no_timeout : std::cv_status::timeout;
+}
+
+// --- SimThread. --------------------------------------------------------------
+
+SimThread::SimThread(std::function<void()> body)
+    : scheduler_(SimScheduler::current()) {
+  if (scheduler_ == nullptr) {
+    throw std::logic_error("SimThread requires an installed SimScheduler");
+  }
+  fiber_ = scheduler_->spawn(std::move(body), "thread");
+}
+
+SimThread::~SimThread() {
+  if (joinable()) std::terminate();  // Mirrors std::thread.
+}
+
+SimThread::SimThread(SimThread&& other) noexcept
+    : scheduler_(other.scheduler_), fiber_(other.fiber_) {
+  other.scheduler_ = nullptr;
+  other.fiber_ = -1;
+}
+
+SimThread& SimThread::operator=(SimThread&& other) noexcept {
+  if (this != &other) {
+    if (joinable()) std::terminate();
+    scheduler_ = other.scheduler_;
+    fiber_ = other.fiber_;
+    other.scheduler_ = nullptr;
+    other.fiber_ = -1;
+  }
+  return *this;
+}
+
+void SimThread::join() {
+  if (!joinable()) {
+    throw std::logic_error("SimThread::join: not joinable");
+  }
+  if (scheduler_->in_fiber()) {
+    scheduler_->join_fiber(fiber_);
+  } else if (!scheduler_->fiber_done(fiber_)) {
+    throw std::logic_error(
+        "SimThread::join from the root context before the fiber completed "
+        "(drive the scenario inside SimScheduler::run)");
+  }
+  fiber_ = -1;
+}
+
+// --- Clock + backend statics. ------------------------------------------------
+
+util::TimeNs SimClock::now_ns() const {
+  auto* scheduler = SimScheduler::current();
+  return scheduler != nullptr ? scheduler->now() : 0;
+}
+
+SimClock& SimClock::instance() {
+  static SimClock clock;
+  return clock;
+}
+
+util::TimeNs SimBackend::now() {
+  auto* scheduler = SimScheduler::current();
+  return scheduler != nullptr ? scheduler->now() : 0;
+}
+
+void SimBackend::sleep_for(util::TimeNs delta) {
+  auto* scheduler = SimScheduler::current();
+  if (scheduler == nullptr) return;
+  if (scheduler->in_fiber()) {
+    scheduler->sleep_fiber(delta);
+  } else if (delta > 0) {
+    scheduler->clock().advance(delta);
+  }
+}
+
+void SimBackend::yield() {
+  auto* scheduler = SimScheduler::current();
+  if (scheduler != nullptr && scheduler->in_fiber()) scheduler->yield_fiber();
+}
+
+}  // namespace robmon::sync

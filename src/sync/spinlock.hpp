@@ -2,7 +2,22 @@
 // monitor's internal queue structures, whose critical sections are a few
 // dozen instructions; a full mutex would dominate the cost being measured
 // by the Table-1 overhead benchmark.
+//
+// Under the deterministic SimBackend a raw spin would livelock: the holder
+// is another fiber on the same OS thread and std::this_thread::yield never
+// switches fibers.  There SpinLock is the cooperative SimMutex instead —
+// contention parks the fiber and the scheduler picks who runs.
 #pragma once
+
+#if defined(ROBMON_SYNC_BACKEND_SIM)
+
+#include "sync/sim_backend.hpp"
+
+namespace robmon::sync {
+using SpinLock = SimMutex;
+}  // namespace robmon::sync
+
+#else
 
 #include <atomic>
 #include <thread>
@@ -39,3 +54,5 @@ class SpinLock {
 };
 
 }  // namespace robmon::sync
+
+#endif  // ROBMON_SYNC_BACKEND_SIM

@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "runtime/checker_pool.hpp"
+#include "runtime/hoare_monitor.hpp"
+#include "util/clock.hpp"
 #include "runtime/robust_monitor.hpp"
 #include "workloads/allocator.hpp"
 #include "workloads/bounded_buffer.hpp"
@@ -54,6 +56,29 @@ TEST(CheckerPoolTest, CheckNowNeedsNoWorkerThreads) {
   EXPECT_EQ(pool.events_lost(), 0u);
 }
 
+// Regression: check_now() on an unregistered or just-removed MonitorId must
+// return an empty CheckStats deterministically, never throw.  The schedule
+// explorer (and any caller racing remove() against a checkpoint) probes ids
+// that can vanish between its lookup and the call.
+TEST(CheckerPoolTest, CheckNowOnRemovedOrUnknownIdReturnsEmpty) {
+  CheckerPool pool;
+  util::ManualClock clock(1000);
+  HoareMonitor source(
+      relaxed_timers(MonitorSpec::manager("stale"), 20 * kMillisecond), clock);
+  const CheckerPool::MonitorId id = pool.add(source);
+  ASSERT_EQ(source.enter(1, "Op"), Status::kOk);
+  source.exit(1);
+  EXPECT_GT(pool.check_now(id).events, 0u);  // live id: a real check
+  pool.remove(id);
+  const auto stale = pool.check_now(id);
+  EXPECT_EQ(stale.events, 0u);
+  EXPECT_EQ(stale.violations, 0u);
+  const auto unknown =
+      pool.check_now(static_cast<CheckerPool::MonitorId>(~0ull));
+  EXPECT_EQ(unknown.events, 0u);
+  EXPECT_EQ(unknown.violations, 0u);
+}
+
 TEST(CheckerPoolTest, DeadlineOrderingFollowsPerMonitorPeriods) {
   CheckerPool::Options pool_options;
   pool_options.threads = 1;  // one worker: ordering is fully observable
@@ -73,7 +98,17 @@ TEST(CheckerPoolTest, DeadlineOrderingFollowsPerMonitorPeriods) {
   slow.start_checking();
   EXPECT_EQ(pool.scheduled_count(), 2u);
   EXPECT_EQ(pool.thread_count(), 1u);
-  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  // Bounded poll, not a fixed settle sleep: once the 25ms cadence has been
+  // served twice, the 5ms cadence has had ~10 slots and the strict ordering
+  // below is decided.  (True virtual-time scheduling lives in the sim
+  // backend — see tests/schedule_explorer.cpp.)
+  for (int spin = 0; spin < 2000; ++spin) {
+    if (slow.detector().checks_run() >= 2 &&
+        fast.detector().checks_run() > slow.detector().checks_run()) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
   fast.stop_checking();
   slow.stop_checking();
 

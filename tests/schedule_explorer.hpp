@@ -1,0 +1,54 @@
+// Schedule-exploration harness support: the pinned regression corpus row
+// format and the seed-replay plumbing shared by the explorer tests and the
+// CI sweep (see docs/deterministic-testing.md).
+//
+// Replay contract: every failure message printed by the explorer contains a
+// ready-to-paste command of the form
+//
+//   ROBMON_REPLAY_SCENARIO=<name> ROBMON_REPLAY_SEED=<seed>
+//       ./schedule_explorer --gtest_filter='ScheduleExplorerTest.Replay'
+//
+// which re-runs exactly that interleaving (same schedule digest, byte-
+// identical v6 trace) and dumps the full scenario result.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "workloads/schedule_scenarios.hpp"
+
+namespace robmon::testing {
+
+/// One pinned interleaving: scenario + seed identify the schedule, the
+/// digest asserts the scheduler still takes it, and the scorecard asserts
+/// detection/recovery behaved identically on it.  Regenerate with
+/// `ROBMON_PRINT_CORPUS=1 ./schedule_explorer
+///  --gtest_filter='ScheduleExplorerTest.PrintCorpus'` after any change
+/// that legitimately moves the interleavings (see the corpus policy in
+/// docs/deterministic-testing.md).
+struct CorpusRow {
+  wl::ScheduleScenario scenario;
+  std::uint64_t seed;
+  std::uint64_t digest;
+  const char* scorecard;
+};
+
+inline std::string replay_command(wl::ScheduleScenario scenario,
+                                  std::uint64_t seed) {
+  return "ROBMON_REPLAY_SCENARIO=" + std::string(wl::to_string(scenario)) +
+         " ROBMON_REPLAY_SEED=" + std::to_string(seed) +
+         " ./schedule_explorer --gtest_filter='ScheduleExplorerTest.Replay'";
+}
+
+/// Env-var integer with default (0 or unset/garbage -> fallback).
+inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == value) return fallback;
+  return parsed;
+}
+
+}  // namespace robmon::testing
